@@ -1,0 +1,118 @@
+package iamdb
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"iamdb/internal/kv"
+	"iamdb/internal/memtable"
+)
+
+// Batch collects writes to apply atomically: either every operation in
+// the batch becomes visible (and durable in one WAL record) or none.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	kind kv.Kind
+	key  []byte
+	val  []byte
+}
+
+// Put queues a key/value insert.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{kv.KindSet,
+		append([]byte(nil), key...), append([]byte(nil), value...)})
+}
+
+// Delete queues a key deletion.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{kv.KindDelete, append([]byte(nil), key...), nil})
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// encode serializes the batch as one WAL record:
+//
+//	startSeq(varint) count(varint)
+//	{kind(1) keyLen(varint) key [valLen(varint) val]}*
+func (b *Batch) encode(startSeq kv.Seq) []byte {
+	buf := binary.AppendUvarint(nil, uint64(startSeq))
+	buf = binary.AppendUvarint(buf, uint64(len(b.ops)))
+	for _, op := range b.ops {
+		buf = append(buf, byte(op.kind))
+		buf = binary.AppendUvarint(buf, uint64(len(op.key)))
+		buf = append(buf, op.key...)
+		if op.kind == kv.KindSet {
+			buf = binary.AppendUvarint(buf, uint64(len(op.val)))
+			buf = append(buf, op.val...)
+		}
+	}
+	return buf
+}
+
+var errBadBatch = errors.New("iamdb: corrupt batch record")
+
+// decodeBatchInto replays one WAL record into a memtable, returning the
+// last sequence number it used.
+func decodeBatchInto(rec []byte, mt *memtable.MemTable) (kv.Seq, error) {
+	p := rec
+	u := func() (uint64, bool) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, false
+		}
+		p = p[n:]
+		return v, true
+	}
+	start, ok := u()
+	if !ok {
+		return 0, errBadBatch
+	}
+	count, ok := u()
+	if !ok {
+		return 0, errBadBatch
+	}
+	seq := kv.Seq(start)
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 1 {
+			return 0, errBadBatch
+		}
+		kind := kv.Kind(p[0])
+		p = p[1:]
+		klen, ok := u()
+		if !ok || uint64(len(p)) < klen {
+			return 0, errBadBatch
+		}
+		key := p[:klen]
+		p = p[klen:]
+		var val []byte
+		if kind == kv.KindSet {
+			vlen, ok := u()
+			if !ok || uint64(len(p)) < vlen {
+				return 0, errBadBatch
+			}
+			val = p[:vlen]
+			p = p[vlen:]
+		} else if kind != kv.KindDelete {
+			return 0, errBadBatch
+		}
+		mt.Add(seq, kind, key, val)
+		seq++
+	}
+	return seq - 1, nil
+}
+
+// size estimates the memtable bytes the batch will occupy.
+func (b *Batch) size() int64 {
+	var n int64
+	for _, op := range b.ops {
+		n += int64(len(op.key) + len(op.val) + 24)
+	}
+	return n
+}

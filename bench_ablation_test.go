@@ -1,0 +1,171 @@
+package iamdb_test
+
+// Ablation helpers for the design-choice benchmarks: these reach into
+// the internal packages to vary parameters the public Options keep
+// fixed at the paper's defaults.
+
+import (
+	"fmt"
+	"testing"
+
+	"iamdb/internal/core"
+	"iamdb/internal/kv"
+	"iamdb/internal/memtable"
+	"iamdb/internal/vfs"
+	"iamdb/internal/ycsb"
+)
+
+// runBloomAblation loads a tree with the given Bloom density and
+// measures read traffic for hits and guaranteed misses.
+func runBloomAblation(b *testing.B, bitsPerKey int) {
+	var st vfs.IOStats
+	fs := vfs.NewStatsFS(vfs.NewMemFS(), &st)
+	tr, err := core.Open(core.Config{
+		FS: fs, Dir: "db", NodeCapacity: 32 * 1024,
+		Policy: core.LSA, BitsPerKey: bitsPerKey,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 4000
+	mt := memtable.New()
+	seq := kv.Seq(0)
+	val := make([]byte, 256)
+	for i := 0; i < n; i++ {
+		seq++
+		mt.Add(seq, kv.KindSet, ycsb.KeyName(uint64(i)), val)
+		if mt.ApproximateSize() >= 32*1024 {
+			if err := tr.Flush(mt.NewIter()); err != nil {
+				b.Fatal(err)
+			}
+			mt = memtable.New()
+		}
+	}
+	tr.Flush(mt.NewIter())
+
+	before := st.Snapshot()
+	for i := 0; i < 2000; i++ {
+		tr.Get(ycsb.KeyName(uint64(n+100000+i)), kv.MaxSeq) // misses
+	}
+	missBytes := st.Snapshot().Sub(before).BytesRead
+	b.ReportMetric(float64(missBytes)/2000, "missB/op")
+}
+
+// runLeafInitAblation hash-loads a tree with leaf merge chunks of
+// Ct/frac and reports the resulting write amplification.
+func runLeafInitAblation(b *testing.B, frac int) {
+	tr, err := core.Open(core.Config{
+		FS: vfs.NewMemFS(), Dir: "db", NodeCapacity: 32 * 1024,
+		Policy: core.LSA, LeafInitFrac: frac,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tr.Close()
+
+	const n = 8000
+	mt := memtable.New()
+	seq := kv.Seq(0)
+	val := make([]byte, 256)
+	var user int64
+	for i := 0; i < n; i++ {
+		seq++
+		k := ycsb.KeyName(uint64(i))
+		mt.Add(seq, kv.KindSet, k, val)
+		user += int64(len(k) + len(val))
+		if mt.ApproximateSize() >= 32*1024 {
+			if err := tr.Flush(mt.NewIter()); err != nil {
+				b.Fatal(err)
+			}
+			mt = memtable.New()
+		}
+	}
+	tr.Flush(mt.NewIter())
+	amp := float64(tr.Stats().TotalFlushBytes()) / float64(user)
+	b.ReportMetric(amp, "write-amp")
+	if err := tr.CheckInvariants(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAblationSplitCombine exercises the split threshold 2t and
+// combine rule Tcn <= 3t under a skewed load, reporting split counts.
+func BenchmarkAblationSplitCombine(b *testing.B) {
+	for _, fanout := range []int{4, 10} {
+		b.Run(fmt.Sprintf("t=%d", fanout), func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				tr, err := core.Open(core.Config{
+					FS: vfs.NewMemFS(), Dir: "db", NodeCapacity: 16 * 1024,
+					Fanout: fanout, Policy: core.LSA,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mt := memtable.New()
+				seq := kv.Seq(0)
+				val := make([]byte, 64)
+				for i := 0; i < 20000; i++ {
+					seq++
+					// Narrow hot range provokes range skew.
+					mt.Add(seq, kv.KindSet,
+						[]byte(fmt.Sprintf("hot%06d", i%3000)), val)
+					if mt.ApproximateSize() >= 16*1024 {
+						if err := tr.Flush(mt.NewIter()); err != nil {
+							b.Fatal(err)
+						}
+						mt = memtable.New()
+					}
+				}
+				tr.Flush(mt.NewIter())
+				st := tr.Stats()
+				b.ReportMetric(float64(st.Splits), "splits")
+				b.ReportMetric(float64(st.Combines), "combines")
+				if err := tr.CheckInvariants(); err != nil {
+					b.Fatal(err)
+				}
+				tr.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCompression compares on-disk footprint with and
+// without flate block compression on compressible values (the paper
+// runs with compression off; this quantifies what that choice costs).
+func BenchmarkAblationCompression(b *testing.B) {
+	for _, comp := range []bool{false, true} {
+		name := "off"
+		if comp {
+			name = "flate"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr, err := core.Open(core.Config{
+					FS: vfs.NewMemFS(), Dir: "db", NodeCapacity: 32 * 1024,
+					Policy: core.IAM, MemBudget: 64 * 1024, Compression: comp,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				mt := memtable.New()
+				seq := kv.Seq(0)
+				val := []byte(fmt.Sprintf("%0512d", 7)) // highly compressible
+				for r := 0; r < 6000; r++ {
+					seq++
+					mt.Add(seq, kv.KindSet, ycsb.KeyName(uint64(r)), val)
+					if mt.ApproximateSize() >= 32*1024 {
+						if err := tr.Flush(mt.NewIter()); err != nil {
+							b.Fatal(err)
+						}
+						mt = memtable.New()
+					}
+				}
+				tr.Flush(mt.NewIter())
+				b.ReportMetric(float64(tr.SpaceUsed())/(1<<20), "space-MiB")
+				tr.Close()
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package iamdb_test
+
+// One benchmark per table and figure of the paper's evaluation
+// (Sec. 6), each regenerating its rows via the experiment harness at
+// SmallScale and printing them.  Run:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/iambench runs the same experiments at larger scales.  Absolute
+// numbers come from the virtual disk model; the paper-matching claim
+// is about shape: who wins, roughly by what factor, where crossovers
+// fall (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"iamdb/internal/amp"
+	"iamdb/internal/harness"
+)
+
+// report runs an experiment once per benchmark invocation and prints
+// the resulting table under -v (b.N is held to 1 by b.Run semantics:
+// the table generation is the measured unit).
+func report(b *testing.B, name string, run func(harness.Scale) (harness.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := run(harness.SmallScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.Format())
+		}
+	}
+}
+
+func BenchmarkTable1Amplifications(b *testing.B) {
+	report(b, "table1", func(s harness.Scale) (harness.Table, error) { return s.Table1() })
+}
+
+func BenchmarkTable2AppendTreeTraits(b *testing.B) {
+	report(b, "table2", func(s harness.Scale) (harness.Table, error) { return s.Table2() })
+}
+
+func BenchmarkTable3MixedLevelK(b *testing.B) {
+	report(b, "table3", func(s harness.Scale) (harness.Table, error) { return s.Table3() })
+}
+
+func BenchmarkTable4PerLevelWriteAmp(b *testing.B) {
+	report(b, "table4", func(s harness.Scale) (harness.Table, error) { return s.Table4() })
+}
+
+func BenchmarkTable5TailLatency(b *testing.B) {
+	report(b, "table5", func(s harness.Scale) (harness.Table, error) { return s.Table5() })
+}
+
+func BenchmarkFigure6HashLoad(b *testing.B) {
+	report(b, "figure6", func(s harness.Scale) (harness.Table, error) { return s.Figure6() })
+}
+
+func BenchmarkFigure7YCSB(b *testing.B) {
+	for _, class := range []harness.Class{harness.ClassSSD100G, harness.ClassHDD100G, harness.ClassHDD1T} {
+		b.Run(class.Name, func(b *testing.B) {
+			report(b, "figure7", func(s harness.Scale) (harness.Table, error) {
+				return s.Figure7(class)
+			})
+		})
+	}
+}
+
+func BenchmarkFigure8StableThroughput(b *testing.B) {
+	report(b, "figure8", func(s harness.Scale) (harness.Table, error) { return s.Figure8() })
+}
+
+func BenchmarkFigure9Sequential(b *testing.B) {
+	report(b, "figure9", func(s harness.Scale) (harness.Table, error) { return s.Figure9() })
+}
+
+func BenchmarkFigure10SpaceUsage(b *testing.B) {
+	report(b, "figure10", func(s harness.Scale) (harness.Table, error) { return s.Figure10() })
+}
+
+// BenchmarkEquationsTheory evaluates the closed-form model (Eq. 1-5)
+// at the paper's full-scale parameters and prints the predicted
+// amplifications next to the paper's measured Table 4 sums.
+func BenchmarkEquationsTheory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := amp.Params{N: 5, T: 10, M: 3, K: 3}
+		tbl := harness.Table{
+			Title:  "Eq. (3)-(5) at paper scale (n=5, t=10, m=3, k=3)",
+			Header: []string{"tree", "predicted", "paper-measured(1T)"},
+			Rows: [][]string{
+				{"LSA", fmt.Sprintf("%.2f", amp.LSAWrite(p)), "4.10"},
+				{"IAM", fmt.Sprintf("%.2f", amp.IAMWrite(p)), "8.71"},
+				{"LSM", fmt.Sprintf("%.2f", amp.LSMWrite(p)), "19.00"},
+			},
+		}
+		if i == 0 {
+			b.Log("\n" + tbl.Format())
+		}
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationBloomBits sweeps Bloom density: lookup read traffic
+// for present and absent keys.
+func BenchmarkAblationBloomBits(b *testing.B) {
+	for _, bits := range []int{4, 10, 14, 20} {
+		b.Run(fmt.Sprintf("bits=%d", bits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runBloomAblation(b, bits)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLeafInitSize sweeps the leaf merge chunk Cts = Ct/f
+// (the paper's default f=5), measuring write amp of a hash load.
+func BenchmarkAblationLeafInitSize(b *testing.B) {
+	for _, frac := range []int{1, 2, 5, 10} {
+		b.Run(fmt.Sprintf("Ct_over_%d", frac), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runLeafInitAblation(b, frac)
+			}
+		})
+	}
+}
+
+// BenchmarkTuningPhase measures the compaction debt each engine owes
+// after a load — the paper's "tuning phase" (Sec. 6.2) that drags the
+// baselines' averaged throughputs in Fig. 7.
+func BenchmarkTuningPhase(b *testing.B) {
+	report(b, "tuning", func(s harness.Scale) (harness.Table, error) { return s.TuningPhase() })
+}

@@ -1,0 +1,61 @@
+package iamdb
+
+import (
+	"fmt"
+	"testing"
+
+	"iamdb/internal/vfs"
+)
+
+func TestCheckpointAndOpenCopy(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, err := Open("db", smallOpts(IAM, fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := map[string]string{}
+	for i := 0; i < 3000; i++ {
+		k, v := fmt.Sprintf("k%05d", i%2500), fmt.Sprintf("v%d", i)
+		db.Put([]byte(k), []byte(v))
+		ref[k] = v
+	}
+	if err := db.Checkpoint("backup"); err != nil {
+		t.Fatal(err)
+	}
+	// Divergence after the checkpoint must not leak into the copy.
+	db.Put([]byte("post-checkpoint"), []byte("x"))
+	db.Delete([]byte("k00001"))
+
+	cp, err := Open("backup", smallOpts(IAM, fs))
+	if err != nil {
+		t.Fatalf("open checkpoint: %v", err)
+	}
+	defer cp.Close()
+	for k, v := range ref {
+		got, err := cp.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("checkpoint %s = %q (%v) want %q", k, got, err, v)
+		}
+	}
+	if _, err := cp.Get([]byte("post-checkpoint")); err != ErrNotFound {
+		t.Fatal("post-checkpoint write leaked into the copy")
+	}
+	// Original still intact and diverged.
+	if _, err := db.Get([]byte("k00001")); err != ErrNotFound {
+		t.Fatal("original lost its post-checkpoint delete")
+	}
+	db.Close()
+}
+
+func TestCheckpointRefusesExistingDB(t *testing.T) {
+	fs := vfs.NewMemFS()
+	db, _ := Open("db", smallOpts(IAM, fs))
+	defer db.Close()
+	db.Put([]byte("k"), []byte("v"))
+	if err := db.Checkpoint("db2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint("db2"); err == nil {
+		t.Fatal("checkpoint over an existing database must fail")
+	}
+}

@@ -1,0 +1,114 @@
+// Command iambench regenerates the paper's tables and figures on the
+// virtual-disk harness.
+//
+// Usage:
+//
+//	iambench                         # run everything at medium scale
+//	iambench -experiment table4      # one experiment
+//	iambench -scale small            # quicker, smaller datasets
+//	iambench -list                   # list experiment ids
+//
+// Experiment ids: table1 table2 table3 table4 table5 figure6
+// figure7a figure7b figure7c figure8 figure9 figure10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"iamdb/internal/harness"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(harness.Scale) (harness.Table, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "amplifications of LSM/LSA/IAM",
+			func(s harness.Scale) (harness.Table, error) { return s.Table1() }},
+		{"table2", "append-tree traits (seq writes, moves, scans)",
+			func(s harness.Scale) (harness.Table, error) { return s.Table2() }},
+		{"table3", "IAM per-level write amp vs k (mixed level pinned)",
+			func(s harness.Scale) (harness.Table, error) { return s.Table3() }},
+		{"table4", "per-level write amp after 1T-class hash load",
+			func(s harness.Scale) (harness.Table, error) { return s.Table4() }},
+		{"table5", "99% latencies of query-intensive workloads",
+			func(s harness.Scale) (harness.Table, error) { return s.Table5() }},
+		{"figure6", "hash-load throughput normalized to LevelDB",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure6() }},
+		{"figure7a", "YCSB A-G throughput, SSD-100G",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure7(harness.ClassSSD100G) }},
+		{"figure7b", "YCSB A-G throughput, HDD-100G",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure7(harness.ClassHDD100G) }},
+		{"figure7c", "YCSB A-G throughput, HDD-1T",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure7(harness.ClassHDD1T) }},
+		{"figure8", "stable throughput, query-intensive, SSD-100G",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure8() }},
+		{"figure9", "fillseq/readseq throughput",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure9() }},
+		{"figure10", "space usage after write tests",
+			func(s harness.Scale) (harness.Table, error) { return s.Figure10() }},
+	}
+}
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment id (default: all)")
+		scale = flag.String("scale", "medium", "small | medium | full")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments() {
+			fmt.Printf("%-9s  %s\n", e.id, e.desc)
+		}
+		return
+	}
+
+	var s harness.Scale
+	switch *scale {
+	case "small":
+		s = harness.SmallScale
+	case "medium":
+		s = harness.MediumScale
+	case "full":
+		// The paper's full 8192x dataset:Ct ratio for the 1T class;
+		// expect long runtimes and gigabytes of memory.
+		s = harness.MediumScale
+		s.Name = "full"
+		s.Records1T = 8192 * uint64(s.Ct) / uint64(s.ValueSize)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	exps := experiments()
+	if *expID != "" {
+		idx := sort.Search(len(exps), func(i int) bool { return exps[i].id >= *expID })
+		if idx >= len(exps) || exps[idx].id != *expID {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		exps = exps[idx : idx+1]
+	}
+
+	fmt.Printf("iambench: scale=%s (100G-class=%d records, 1T-class=%d records, Ct=%dKiB)\n\n",
+		s.Name, s.Records100G, s.Records1T, s.Ct/1024)
+	for _, e := range exps {
+		start := time.Now()
+		tbl, err := e.run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("(%s finished in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,169 @@
+// Command iamdb is a small CLI over the storage library: put, get,
+// delete, scan, load and stats against a database directory on the
+// real filesystem.
+//
+// Usage:
+//
+//	iamdb -db ./data [-engine IAM|LSA|LevelDB|RocksDB] <command> [args]
+//
+// Commands:
+//
+//	put <key> <value>        store a key
+//	get <key>                print a value
+//	del <key>                delete a key
+//	scan <start> [limit]     print up to limit records from start
+//	rscan <start> [limit]    print up to limit records backward from start
+//	load <n> [valueSize]     insert n hash-ordered records
+//	stats                    print engine metrics
+//	compact                  run the tuning phase to completion
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"iamdb"
+	"iamdb/internal/ycsb"
+)
+
+func main() {
+	var (
+		dir    = flag.String("db", "./iamdb-data", "database directory")
+		engine = flag.String("engine", "IAM", "IAM | LSA | LevelDB | RocksDB")
+		ctKB   = flag.Int64("ct", 4096, "memtable/node capacity in KiB")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	kind, ok := map[string]iamdb.EngineKind{
+		"IAM": iamdb.IAM, "LSA": iamdb.LSA,
+		"LevelDB": iamdb.LevelDB, "RocksDB": iamdb.RocksDB,
+	}[*engine]
+	if !ok {
+		fatalf("unknown engine %q", *engine)
+	}
+
+	db, err := iamdb.Open(*dir, &iamdb.Options{
+		Engine:       kind,
+		MemtableSize: *ctKB * 1024,
+	})
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	defer db.Close()
+
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fatalf("put: %v", err)
+		}
+	case "get":
+		need(args, 2)
+		v, err := db.Get([]byte(args[1]))
+		if err == iamdb.ErrNotFound {
+			fatalf("not found")
+		}
+		if err != nil {
+			fatalf("get: %v", err)
+		}
+		fmt.Printf("%s\n", v)
+	case "del":
+		need(args, 2)
+		if err := db.Delete([]byte(args[1])); err != nil {
+			fatalf("del: %v", err)
+		}
+	case "scan":
+		need(args, 2)
+		limit := 20
+		if len(args) > 2 {
+			limit, _ = strconv.Atoi(args[2])
+		}
+		it := db.NewIterator()
+		defer it.Close()
+		n := 0
+		for it.Seek([]byte(args[1])); it.Valid() && n < limit; it.Next() {
+			fmt.Printf("%s = %s\n", it.Key(), it.Value())
+			n++
+		}
+		if err := it.Err(); err != nil {
+			fatalf("scan: %v", err)
+		}
+	case "rscan":
+		need(args, 2)
+		limit := 20
+		if len(args) > 2 {
+			limit, _ = strconv.Atoi(args[2])
+		}
+		it := db.NewIterator()
+		defer it.Close()
+		n := 0
+		for it.SeekForPrev([]byte(args[1])); it.Valid() && n < limit; it.Prev() {
+			fmt.Printf("%s = %s\n", it.Key(), it.Value())
+			n++
+		}
+		if err := it.Err(); err != nil {
+			fatalf("rscan: %v", err)
+		}
+	case "load":
+		need(args, 2)
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			fatalf("load: bad count %q", args[1])
+		}
+		valueSize := 1024
+		if len(args) > 2 {
+			valueSize, _ = strconv.Atoi(args[2])
+		}
+		val := make([]byte, valueSize)
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+		for i := 0; i < n; i++ {
+			if err := db.Put(ycsb.KeyName(uint64(i)), val); err != nil {
+				fatalf("load: %v", err)
+			}
+		}
+		fmt.Printf("loaded %d records\n", n)
+	case "stats":
+		m := db.Metrics()
+		fmt.Printf("engine:     %s\n", *engine)
+		fmt.Printf("user bytes: %d\n", m.UserBytes)
+		fmt.Printf("space used: %d\n", m.SpaceUsed)
+		fmt.Printf("write amp:  %.2f\n", m.WriteAmplification())
+		fmt.Printf("cache hits: %.1f%%\n", 100*m.CacheHitRate)
+		fmt.Printf("appends=%d merges=%d moves=%d splits=%d combines=%d\n",
+			m.Engine.Appends, m.Engine.Merges, m.Engine.Moves,
+			m.Engine.Splits, m.Engine.Combines)
+		for _, l := range m.Levels {
+			fmt.Printf("  %s\n", l)
+		}
+		if mm, kk := db.MixedLevel(); mm > 0 {
+			fmt.Printf("mixed level m=%d k=%d\n", mm, kk)
+		}
+	case "compact":
+		if err := db.CompactAll(); err != nil {
+			fatalf("compact: %v", err)
+		}
+		fmt.Println("compacted")
+	default:
+		fatalf("unknown command %q", args[0])
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		fatalf("missing arguments")
+	}
+}
+
+func fatalf(format string, a ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", a...)
+	os.Exit(1)
+}

@@ -1,0 +1,580 @@
+// Package iamdb is a persistent, crash-recovering, MVCC key-value
+// storage library — the implementation of the LSA- and IAM-trees from
+// "On Integration of Appends and Merges in Log-Structured Merge Trees"
+// (ICPP 2019), together with LevelDB- and RocksDB-style leveled-LSM
+// baselines behind the same API.
+//
+// Quickstart:
+//
+//	db, err := iamdb.Open("./data", &iamdb.Options{Engine: iamdb.IAM})
+//	defer db.Close()
+//	db.Put([]byte("k"), []byte("v"))
+//	v, err := db.Get([]byte("k"))
+//	it := db.NewIterator()
+//	for it.Seek([]byte("a")); it.Valid(); it.Next() { ... }
+//	it.Close()
+package iamdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iamdb/internal/cache"
+	"iamdb/internal/core"
+	"iamdb/internal/engine"
+	"iamdb/internal/kv"
+	"iamdb/internal/lsm"
+	"iamdb/internal/memtable"
+	"iamdb/internal/vfs"
+	"iamdb/internal/wal"
+)
+
+var (
+	// ErrNotFound reports that a key has no visible value.
+	ErrNotFound = errors.New("iamdb: not found")
+	// ErrClosed reports use of a closed DB.
+	ErrClosed = errors.New("iamdb: closed")
+)
+
+// metaEngine is the extra contract both engines provide beyond
+// engine.Engine: durable WAL position tracking.
+type metaEngine interface {
+	engine.Engine
+	SetLogMeta(lastSeq kv.Seq, logNum uint64) error
+	LogMeta() (kv.Seq, uint64)
+}
+
+// DB is a key-value store.  All methods are safe for concurrent use.
+type DB struct {
+	opt   Options
+	dir   string
+	fs    vfs.FS
+	cache *cache.Cache
+	eng   metaEngine
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	mem        *memtable.MemTable
+	imm        *memtable.MemTable
+	immWalNum  uint64
+	immLastSeq kv.Seq
+	seq        kv.Seq
+	userBytes  int64
+	walW       *wal.Writer
+	walF       vfs.File
+	walNum     uint64
+	snaps      map[kv.Seq]int
+	closed     bool
+	bgErr      error
+
+	flushC   chan struct{}
+	compactC chan struct{}
+	quit     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// Open opens (creating as needed) a database in dir.  A nil opt uses
+// defaults (IAM engine, OS filesystem).
+func Open(dir string, opt *Options) (*DB, error) {
+	var o Options
+	if opt != nil {
+		o = *opt
+	}
+	o = o.withDefaults()
+	db := &DB{
+		opt: o, dir: dir, fs: o.FS,
+		cache:  cache.New(o.CacheSize),
+		mem:    memtable.New(),
+		snaps:  make(map[kv.Seq]int),
+		flushC: make(chan struct{}, 1), compactC: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	db.cond = sync.NewCond(&db.mu)
+	if err := db.fs.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+	if err := db.openEngine(); err != nil {
+		return nil, err
+	}
+	if err := db.recover(); err != nil {
+		db.eng.Close()
+		return nil, err
+	}
+	db.wg.Add(1)
+	go db.flushWorker()
+	for i := 0; i < db.opt.CompactionThreads; i++ {
+		db.wg.Add(1)
+		go db.compactWorker()
+	}
+	return db, nil
+}
+
+func (db *DB) openEngine() error {
+	switch db.opt.Engine {
+	case IAM, LSA:
+		policy := core.IAM
+		if db.opt.Engine == LSA {
+			policy = core.LSA
+		}
+		budget := db.opt.MemBudget
+		if db.opt.Engine == LSA {
+			budget = 0 // LSA ignores the budget (appends everywhere)
+		}
+		tr, err := core.Open(core.Config{
+			FS: db.fs, Dir: db.dir, Cache: db.cache,
+			NodeCapacity: db.opt.MemtableSize, Fanout: db.opt.Fanout,
+			Policy: policy, K: db.opt.K, MemBudget: budget,
+			FixedM: db.opt.FixedM, BitsPerKey: db.opt.BitsPerKey,
+			Compression: db.opt.Compression,
+		})
+		if err != nil {
+			return err
+		}
+		db.eng = tr
+	case LevelDB, RocksDB:
+		profile := lsm.ProfileLevelDB
+		if db.opt.Engine == RocksDB {
+			profile = lsm.ProfileRocksDB
+		}
+		d, err := lsm.Open(lsm.Config{
+			FS: db.fs, Dir: db.dir, Cache: db.cache,
+			FileSize: db.opt.FileSize, LevelSizeBase: db.opt.LevelSizeBase,
+			Fanout: db.opt.Fanout, L0CompactTrigger: db.opt.L0CompactTrigger,
+			Profile: profile, BitsPerKey: db.opt.BitsPerKey,
+			Compression: db.opt.Compression,
+		})
+		if err != nil {
+			return err
+		}
+		db.eng = d
+	default:
+		return fmt.Errorf("iamdb: unknown engine %v", db.opt.Engine)
+	}
+	return nil
+}
+
+func logName(dir string, num uint64) string {
+	return fmt.Sprintf("%s/%06d.log", dir, num)
+}
+
+// recover replays WAL files at or after the engine's recorded log
+// number, then starts a fresh log.
+func (db *DB) recover() error {
+	lastSeq, logNum := db.eng.LogMeta()
+	db.seq = lastSeq
+
+	names, err := db.fs.List(db.dir)
+	if err != nil {
+		return err
+	}
+	var logs []uint64
+	for _, name := range names {
+		if strings.HasSuffix(name, ".log") {
+			n, err := strconv.ParseUint(strings.TrimSuffix(name, ".log"), 10, 64)
+			if err == nil {
+				logs = append(logs, n)
+			}
+		}
+	}
+	sort.Slice(logs, func(i, j int) bool { return logs[i] < logs[j] })
+	maxLog := logNum
+	for _, num := range logs {
+		if num < logNum {
+			db.fs.Remove(logName(db.dir, num)) // already flushed
+			continue
+		}
+		if num > maxLog {
+			maxLog = num
+		}
+		if err := db.replayLog(num); err != nil {
+			return err
+		}
+	}
+	// Flush everything recovered so the replayed logs can be dropped.
+	if db.mem.Count() > 0 {
+		if err := db.eng.Flush(db.mem.NewIter()); err != nil {
+			return err
+		}
+		db.mem = memtable.New()
+	}
+	db.walNum = maxLog + 1
+	if err := db.eng.SetLogMeta(db.seq, db.walNum); err != nil {
+		return err
+	}
+	for _, num := range logs {
+		db.fs.Remove(logName(db.dir, num))
+	}
+	f, err := db.fs.Create(logName(db.dir, db.walNum))
+	if err != nil {
+		return err
+	}
+	db.walF = f
+	db.walW = wal.NewWriter(f)
+	db.walW.SetSync(db.opt.SyncWrites)
+	return nil
+}
+
+func (db *DB) replayLog(num uint64) error {
+	f, err := db.fs.Open(logName(db.dir, num))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = wal.ReplayAll(f, func(rec []byte) error {
+		last, err := decodeBatchInto(rec, db.mem)
+		if err != nil {
+			return err
+		}
+		if last > db.seq {
+			db.seq = last
+		}
+		if db.mem.ApproximateSize() >= db.opt.MemtableSize {
+			if err := db.eng.Flush(db.mem.NewIter()); err != nil {
+				return err
+			}
+			db.mem = memtable.New()
+		}
+		return nil
+	})
+	return err
+}
+
+// Put stores a key/value pair.
+func (db *DB) Put(key, value []byte) error {
+	var b Batch
+	b.Put(key, value)
+	return db.Write(&b)
+}
+
+// Delete removes a key.
+func (db *DB) Delete(key []byte) error {
+	var b Batch
+	b.Delete(key)
+	return db.Write(&b)
+}
+
+// Write applies a batch atomically: one WAL record, consecutive
+// sequence numbers, all-or-nothing visibility.
+func (db *DB) Write(b *Batch) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	db.throttle()
+
+	db.mu.Lock()
+	for !db.closed && db.bgErr == nil && db.imm != nil &&
+		db.mem.ApproximateSize() >= db.opt.MemtableSize {
+		db.cond.Wait() // both memtables full: wait for the flusher
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
+	start := db.seq + 1
+	db.seq += kv.Seq(len(b.ops))
+	if err := db.walW.Append(b.encode(start)); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	seq := start
+	for _, op := range b.ops {
+		db.mem.Add(seq, op.kind, op.key, op.val)
+		db.userBytes += int64(len(op.key) + len(op.val))
+		seq++
+	}
+	if db.mem.ApproximateSize() >= db.opt.MemtableSize && db.imm == nil {
+		if err := db.rotateLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+// throttle applies the engine's write-stall policy in the writer's own
+// goroutine, so stall time shows up as write latency — the behaviour
+// whose tails Sec. 6.2 measures.
+func (db *DB) throttle() {
+	for {
+		switch db.eng.StallLevel() {
+		case 2:
+			if did, _ := db.eng.WorkStep(); !did {
+				return
+			}
+		case 1:
+			db.eng.WorkStep()
+			return
+		default:
+			return
+		}
+	}
+}
+
+// rotateLocked swaps the full memtable to the immutable slot and opens
+// a fresh WAL.  Caller holds db.mu.
+func (db *DB) rotateLocked() error {
+	newNum := db.walNum + 1
+	f, err := db.fs.Create(logName(db.dir, newNum))
+	if err != nil {
+		return err
+	}
+	db.imm = db.mem
+	db.immWalNum = db.walNum
+	db.immLastSeq = db.seq
+	db.mem = memtable.New()
+	db.walF.Close()
+	db.walF = f
+	db.walW = wal.NewWriter(f)
+	db.walW.SetSync(db.opt.SyncWrites)
+	db.walNum = newNum
+	select {
+	case db.flushC <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (db *DB) flushWorker() {
+	defer db.wg.Done()
+	for {
+		select {
+		case <-db.quit:
+			return
+		case <-db.flushC:
+		}
+		for {
+			db.mu.Lock()
+			imm := db.imm
+			immWal := db.immWalNum
+			immSeq := db.immLastSeq
+			curWal := db.walNum
+			db.mu.Unlock()
+			if imm == nil {
+				break
+			}
+			err := db.eng.Flush(imm.NewIter())
+			if err == nil {
+				err = db.eng.SetLogMeta(immSeq, curWal)
+			}
+			db.mu.Lock()
+			if err != nil {
+				db.bgErr = err
+			} else {
+				db.imm = nil
+				db.fs.Remove(logName(db.dir, immWal))
+			}
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			if err != nil {
+				return
+			}
+			select {
+			case db.compactC <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+func (db *DB) compactWorker() {
+	defer db.wg.Done()
+	for {
+		did, err := db.eng.WorkStep()
+		if err != nil {
+			db.mu.Lock()
+			db.bgErr = err
+			db.cond.Broadcast()
+			db.mu.Unlock()
+			return
+		}
+		if did {
+			continue
+		}
+		select {
+		case <-db.quit:
+			return
+		case <-db.compactC:
+		}
+	}
+}
+
+// Get returns the value for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	snap := db.seq
+	mem, imm := db.mem, db.imm
+	db.mu.Unlock()
+	return db.getAt(key, snap, mem, imm)
+}
+
+func (db *DB) getAt(key []byte, snap kv.Seq, mem, imm *memtable.MemTable) ([]byte, error) {
+	if v, kind, _, found := mem.Get(key, snap); found {
+		return finishGet(v, kind)
+	}
+	if imm != nil {
+		if v, kind, _, found := imm.Get(key, snap); found {
+			return finishGet(v, kind)
+		}
+	}
+	v, kind, _, found, err := db.eng.Get(key, snap)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	return finishGet(v, kind)
+}
+
+func finishGet(v []byte, kind kv.Kind) ([]byte, error) {
+	if kind == kv.KindDelete {
+		return nil, ErrNotFound
+	}
+	return append([]byte(nil), v...), nil
+}
+
+// Close flushes nothing (recovery replays the WAL), stops background
+// work and releases resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	close(db.quit)
+	db.wg.Wait()
+	db.walF.Close()
+	return db.eng.Close()
+}
+
+// CompactAll flushes both memtables and settles every pending
+// compaction — the paper's "tuning phase" run to completion.  Used by
+// experiments before measuring stable performance.
+func (db *DB) CompactAll() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	// Wait out any in-flight background flush.
+	for db.imm != nil && db.bgErr == nil {
+		db.cond.Wait()
+	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
+	mem := db.mem
+	db.mem = memtable.New()
+	db.mu.Unlock()
+	if mem.Count() > 0 {
+		if err := db.eng.Flush(mem.NewIter()); err != nil {
+			return err
+		}
+	}
+	if d, ok := db.eng.(*lsm.DB); ok {
+		return d.DrainCompactions()
+	}
+	return nil
+}
+
+// Metrics reports cumulative engine statistics.
+type Metrics struct {
+	// Engine holds per-level flush bytes and operation counts.
+	Engine engine.StatsSnapshot
+	// Levels summarizes the current tree shape.
+	Levels []engine.LevelInfo
+	// SpaceUsed is the on-disk footprint in bytes (excluding WAL).
+	SpaceUsed int64
+	// UserBytes is the total key+value bytes written by the user.
+	UserBytes int64
+	// CacheHitRate is the block-cache hit fraction since open.
+	CacheHitRate float64
+}
+
+// WriteAmplification is total compaction writes over user writes,
+// excluding the WAL, as the paper computes it (Sec. 6.2).
+func (m Metrics) WriteAmplification() float64 {
+	if m.UserBytes == 0 {
+		return 0
+	}
+	return float64(m.Engine.TotalFlushBytes()) / float64(m.UserBytes)
+}
+
+// Metrics returns a snapshot of the DB's statistics.
+func (db *DB) Metrics() Metrics {
+	db.mu.Lock()
+	user := db.userBytes
+	db.mu.Unlock()
+	rate, _, _ := db.cache.HitRate()
+	return Metrics{
+		Engine:       db.eng.Stats(),
+		Levels:       db.eng.Levels(),
+		SpaceUsed:    db.eng.SpaceUsed(),
+		UserBytes:    user,
+		CacheHitRate: rate,
+	}
+}
+
+// MixedLevel reports IAM's current (m, k) tuning; zero for baselines.
+func (db *DB) MixedLevel() (m, k int) {
+	if tr, ok := db.eng.(*core.Tree); ok {
+		return tr.MixedLevel()
+	}
+	return 0, 0
+}
+
+// Flush forces the current memtable into the tree, waiting for the
+// flush to finish.  Reads are unaffected; use it before measuring
+// on-disk state or creating external copies.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	for db.imm != nil && db.bgErr == nil {
+		db.cond.Wait()
+	}
+	if db.bgErr != nil {
+		err := db.bgErr
+		db.mu.Unlock()
+		return err
+	}
+	mem := db.mem
+	db.mem = memtable.New()
+	db.mu.Unlock()
+	if mem.Count() == 0 {
+		return nil
+	}
+	return db.eng.Flush(mem.NewIter())
+}
+
+// ApproximateSize estimates the on-disk bytes of data stored in the
+// user-key range [start, limit], excluding memtable contents.  The
+// estimate counts whole nodes inside the range and half of each node
+// straddling a boundary.
+func (db *DB) ApproximateSize(start, limit []byte) int64 {
+	if rs, ok := db.eng.(engine.RangeSizer); ok {
+		return rs.ApproximateSize(start, limit)
+	}
+	return 0
+}

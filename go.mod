@@ -1,0 +1,3 @@
+module iamdb
+
+go 1.22

@@ -1,0 +1,123 @@
+// Package amp implements the paper's closed-form amplification model
+// (Sec. 5.3): write amplification of LSA and IAM (Eq. 3–5), the
+// mixed-level memory condition (Eq. 1–2), and the read-amplification
+// comparisons of Table 1.  The benchmark harness checks measured
+// amplifications against these formulas.
+package amp
+
+// Params capture the tree configuration the formulas depend on.
+type Params struct {
+	// N is the number of on-disk levels n.
+	N int
+	// T is the fanout t (default 10).
+	T int
+	// M is the mixed level m (1 <= m <= n+1; m = n+1 means all levels
+	// append — pure LSA).
+	M int
+	// K is the sequence cap of the mixed level.
+	K int
+}
+
+// SplitAmplification is Eq. (5): Wsp = 2 * sum_{j=1}^{n-1} (2/t)^j,
+// the write amplification induced by splits.
+func SplitAmplification(p Params) float64 {
+	var sum float64
+	pow := 1.0
+	for j := 1; j <= p.N-1; j++ {
+		pow *= 2.0 / float64(p.T)
+		sum += pow
+	}
+	return 2 * sum
+}
+
+// LSAWrite is Eq. (3): Wlsa = Wsp + n.
+func LSAWrite(p Params) float64 {
+	return SplitAmplification(p) + float64(p.N)
+}
+
+// IAMWrite is Eq. (4): Wiam = Wsp + n + t/2k + sum_{j=m+1}^{n} t/2,
+// degenerating to LSA when m > n.
+func IAMWrite(p Params) float64 {
+	w := SplitAmplification(p) + float64(p.N)
+	if p.M > p.N {
+		return w
+	}
+	w += float64(p.T) / float64(2*p.K)
+	for j := p.M + 1; j <= p.N; j++ {
+		_ = j
+		w += float64(p.T) / 2
+	}
+	return w
+}
+
+// LSMWrite is the paper's Sec. 2.1 estimate for leveled LSMs:
+// about 11x per level transition, i.e. (t+1) * (n-1).
+func LSMWrite(p Params) float64 {
+	return float64(p.T+1) * float64(p.N-1)
+}
+
+// AppendedSeqBytes is Eq. (1): S_{m,k} = D_m * (k-1) / t, the expected
+// bytes of appended sequences in the mixed level, given level-m data
+// size dm.
+func AppendedSeqBytes(dm int64, p Params) int64 {
+	return dm * int64(p.K-1) / int64(p.T)
+}
+
+// FitsBudget is Eq. (2): sum_{j<m} D_j + S_{m,k} <= M.
+func FitsBudget(levelSizes []int64, budget int64, p Params) bool {
+	var sum int64
+	for j := 1; j < p.M && j < len(levelSizes); j++ {
+		sum += levelSizes[j]
+	}
+	if p.M < len(levelSizes) {
+		sum += AppendedSeqBytes(levelSizes[p.M], p)
+	}
+	return sum <= budget
+}
+
+// TuneMK picks the largest m, then the largest k <= maxK, satisfying
+// Eq. (2) — the preference Sec. 5.1.3 states.  levelSizes[0] is
+// ignored (L0 is the memtable).
+func TuneMK(levelSizes []int64, budget int64, maxK, t int) (m, k int) {
+	n := len(levelSizes) - 1
+	var sum int64
+	m = 1
+	for j := 1; j <= n; j++ {
+		if sum+levelSizes[j] <= budget {
+			sum += levelSizes[j]
+			m = j + 1
+		} else {
+			break
+		}
+	}
+	if m > n {
+		return m, maxK
+	}
+	for k = maxK; k >= 2; k-- {
+		if sum+levelSizes[m]*int64(k-1)/int64(t) <= budget {
+			return m, k
+		}
+	}
+	return m, 1
+}
+
+// ScanReadAmp reports the expected disk seeks of a scan per Table 1 /
+// Sec. 5.3.2, for levels m..n (the uncached ones).
+//   - LSM and IAM: one seek per uncached level: n - m + 1.
+//   - LSA: 0.5*t sequences per node: 0.5 * t * (n - m + 1).
+type ScanReadAmp struct {
+	LSM, IAM, LSA float64
+}
+
+// ScanAmps evaluates the read-amplification comparison.
+func ScanAmps(p Params) ScanReadAmp {
+	uncached := float64(p.N - p.M + 1)
+	if uncached < 0 {
+		uncached = 0
+	}
+	return ScanReadAmp{
+		LSM: uncached,
+		IAM: uncached,
+		LSA: 0.5 * float64(p.T) * uncached,
+	}
+}

@@ -1,0 +1,144 @@
+package amp
+
+import (
+	"math"
+	"testing"
+)
+
+func near(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSplitAmplificationSmall(t *testing.T) {
+	// t=10, n=5: Wsp = 2*(0.2 + 0.04 + 0.008 + 0.0016) = ~0.499
+	got := SplitAmplification(Params{N: 5, T: 10})
+	if !near(got, 0.49927, 1e-3) {
+		t.Fatalf("Wsp = %f", got)
+	}
+	// n=1: no internal levels, no splits.
+	if SplitAmplification(Params{N: 1, T: 10}) != 0 {
+		t.Fatal("n=1 should have no split cost")
+	}
+}
+
+func TestLSAWrite(t *testing.T) {
+	// Eq. (3): about n + small split term.
+	got := LSAWrite(Params{N: 4, T: 10})
+	if got < 4 || got > 4.6 {
+		t.Fatalf("Wlsa = %f", got)
+	}
+}
+
+func TestIAMWriteMatchesPaperShape(t *testing.T) {
+	// Paper Sec. 6.2: 1 TB data, 64 GB memory, n=5, m=3, k=3, t=10.
+	// The measured IAM amp was 8.71; the formula gives
+	// Wsp + 5 + 10/6 + 2*(10/2) = ~17?  No: merging levels are m+1..n
+	// = levels 4,5 → + 2*5 = 10... The paper's measured value is lower
+	// because level 5 received moves, not merges.  Here we check the
+	// formula's internal consistency instead.
+	p := Params{N: 5, T: 10, M: 3, K: 3}
+	w := IAMWrite(p)
+	want := SplitAmplification(p) + 5 + 10.0/6 + 5 + 5
+	if !near(w, want, 1e-9) {
+		t.Fatalf("Wiam = %f want %f", w, want)
+	}
+	// Larger k reduces amplification (Table 3's trend).
+	w1 := IAMWrite(Params{N: 5, T: 10, M: 3, K: 1})
+	w2 := IAMWrite(Params{N: 5, T: 10, M: 3, K: 2})
+	w3 := IAMWrite(Params{N: 5, T: 10, M: 3, K: 3})
+	if !(w1 > w2 && w2 > w3) {
+		t.Fatalf("k trend broken: %f %f %f", w1, w2, w3)
+	}
+	// Larger m reduces amplification.
+	wm2 := IAMWrite(Params{N: 5, T: 10, M: 2, K: 3})
+	wm4 := IAMWrite(Params{N: 5, T: 10, M: 4, K: 3})
+	if !(wm2 > w3 && w3 > wm4) {
+		t.Fatalf("m trend broken: %f %f %f", wm2, w3, wm4)
+	}
+	// m > n degenerates into LSA.
+	if IAMWrite(Params{N: 5, T: 10, M: 6, K: 3}) != LSAWrite(Params{N: 5, T: 10}) {
+		t.Fatal("m>n must equal LSA")
+	}
+}
+
+func TestOrderingLSAbelowIAMbelowLSM(t *testing.T) {
+	// Table 1's qualitative ordering, for any mixed level inside the
+	// tree.
+	for n := 2; n <= 7; n++ {
+		for m := 1; m <= n; m++ {
+			p := Params{N: n, T: 10, M: m, K: 3}
+			lsa, iam, lsm := LSAWrite(p), IAMWrite(p), LSMWrite(p)
+			if !(lsa <= iam) {
+				t.Fatalf("n=%d m=%d: LSA %f > IAM %f", n, m, lsa, iam)
+			}
+			if m > 1 && !(iam < lsm) {
+				t.Fatalf("n=%d m=%d: IAM %f >= LSM %f", n, m, iam, lsm)
+			}
+		}
+	}
+}
+
+func TestAppendedSeqBytesEq1(t *testing.T) {
+	// S_{m,k} = Dm (k-1)/t
+	got := AppendedSeqBytes(1000, Params{T: 10, K: 3})
+	if got != 200 {
+		t.Fatalf("S = %d", got)
+	}
+	if AppendedSeqBytes(1000, Params{T: 10, K: 1}) != 0 {
+		t.Fatal("k=1 has no appended sequences")
+	}
+}
+
+func TestFitsBudgetEq2(t *testing.T) {
+	sizes := []int64{0, 100, 1000, 10000} // D1..D3
+	p := Params{N: 3, T: 10, M: 3, K: 3}
+	// sum_{j<3} = 1100, S_{3,3} = 10000*2/10 = 2000 → needs 3100.
+	if !FitsBudget(sizes, 3100, p) {
+		t.Fatal("3100 should fit")
+	}
+	if FitsBudget(sizes, 3099, p) {
+		t.Fatal("3099 should not fit")
+	}
+}
+
+func TestTuneMK(t *testing.T) {
+	sizes := []int64{0, 100, 1000, 10000}
+	m, k := TuneMK(sizes, 3100, 3, 10)
+	if m != 3 || k != 3 {
+		t.Fatalf("m=%d k=%d want 3/3", m, k)
+	}
+	m, k = TuneMK(sizes, 1150, 3, 10)
+	// Levels 1,2 fit (1100); mixed level 3: 1100+10000*(k-1)/10 <= 1150
+	// fails for k>=2 → k=1.
+	if m != 3 || k != 1 {
+		t.Fatalf("m=%d k=%d want 3/1", m, k)
+	}
+	// Everything fits: m = n+1 (pure appends).
+	m, k = TuneMK(sizes, 1<<40, 3, 10)
+	if m != 4 || k != 3 {
+		t.Fatalf("m=%d k=%d want 4/3", m, k)
+	}
+	// Nothing fits: m=1.
+	m, _ = TuneMK(sizes, 10, 3, 10)
+	if m != 1 {
+		t.Fatalf("m=%d want 1", m)
+	}
+}
+
+func TestScanAmps(t *testing.T) {
+	a := ScanAmps(Params{N: 5, T: 10, M: 3})
+	if a.LSM != 3 || a.IAM != 3 {
+		t.Fatalf("LSM/IAM scan amp: %+v", a)
+	}
+	if a.LSA != 15 {
+		t.Fatalf("LSA scan amp %f want 15 (5x of LSM, Sec. 5.3.2)", a.LSA)
+	}
+	if a.LSA/a.IAM != 5 {
+		t.Fatal("LSA should be 5x IAM at t=10")
+	}
+}
+
+func TestLSMWrite(t *testing.T) {
+	// Sec. 2.1: "about 11 x (n-1)".
+	if got := LSMWrite(Params{N: 6, T: 10}); got != 55 {
+		t.Fatalf("LSM amp %f", got)
+	}
+}

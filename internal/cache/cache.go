@@ -1,0 +1,185 @@
+// Package cache implements the sharded LRU block cache that stands in
+// for the OS page cache in the paper's design.  IAM's mixed-level tuning
+// (Sec. 5.1.3) needs to know how much of each table is memory-resident —
+// the paper samples mincore; here residency is exact, tracked per table,
+// so Eq. (2) can be evaluated deterministically.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+const numShards = 16
+
+// Key identifies a cached block: the owning table's id and the block's
+// file offset.
+type Key struct {
+	Table uint64
+	Off   uint64
+}
+
+// Cache is a fixed-capacity LRU over data blocks, safe for concurrent
+// use.  Capacity is in bytes of cached block payload.
+type Cache struct {
+	shards [numShards]shard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	residentMu sync.Mutex
+	resident   map[uint64]int64 // table id -> resident bytes
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recent
+	items    map[Key]*list.Element
+}
+
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// New creates a cache holding at most capacity bytes.  A capacity <= 0
+// yields a cache that stores nothing (every Get misses), modelling a
+// machine with no spare RAM.
+func New(capacity int64) *Cache {
+	c := &Cache{resident: make(map[uint64]int64)}
+	per := capacity / numShards
+	for i := range c.shards {
+		c.shards[i] = shard{capacity: per, ll: list.New(), items: make(map[Key]*list.Element)}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	h := k.Table*0x9e3779b97f4a7c15 ^ k.Off*0xbf58476d1ce4e5b9
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached block or nil on miss.  The returned slice must
+// be treated as read-only.
+func (c *Cache) Get(table, off uint64) []byte {
+	k := Key{table, off}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry).data
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+// Set inserts a block, evicting LRU entries as needed.  Blocks larger
+// than a shard's whole capacity are not cached.
+func (c *Cache) Set(table, off uint64, data []byte) {
+	k := Key{table, off}
+	s := c.shardFor(k)
+	if int64(len(data)) > s.capacity {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		old := el.Value.(*entry)
+		s.used += int64(len(data)) - int64(len(old.data))
+		c.addResident(table, int64(len(data))-int64(len(old.data)))
+		old.data = data
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[k] = s.ll.PushFront(&entry{key: k, data: data})
+		s.used += int64(len(data))
+		c.addResident(table, int64(len(data)))
+	}
+	for s.used > s.capacity {
+		back := s.ll.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.used -= int64(len(e.data))
+		c.addResident(e.key.Table, -int64(len(e.data)))
+	}
+	s.mu.Unlock()
+}
+
+// addResident adjusts per-table residency.  The residency map has its
+// own lock and is only ever taken while holding at most one shard lock
+// (lock order: shard -> resident), so there is no deadlock.
+func (c *Cache) addResident(table uint64, delta int64) {
+	c.residentMu.Lock()
+	c.resident[table] += delta
+	if c.resident[table] <= 0 {
+		delete(c.resident, table)
+	}
+	c.residentMu.Unlock()
+}
+
+// EvictTable removes every block of a table, e.g. after the table file
+// is deleted by a compaction.
+func (c *Cache) EvictTable(table uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if e.key.Table == table {
+				s.ll.Remove(el)
+				delete(s.items, e.key)
+				s.used -= int64(len(e.data))
+				c.addResident(table, -int64(len(e.data)))
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Used reports total cached bytes.
+func (c *Cache) Used() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.used
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// ResidentBytes reports how many bytes of the given table are cached.
+// This is the deterministic analogue of the paper's mincore sampling.
+func (c *Cache) ResidentBytes(table uint64) int64 {
+	c.residentMu.Lock()
+	defer c.residentMu.Unlock()
+	return c.resident[table]
+}
+
+// HitRate reports the fraction of Gets served from cache, and the raw
+// hit/miss counts.
+func (c *Cache) HitRate() (rate float64, hits, misses int64) {
+	hits, misses = c.hits.Load(), c.misses.Load()
+	if hits+misses == 0 {
+		return 0, 0, 0
+	}
+	return float64(hits) / float64(hits+misses), hits, misses
+}
+
+// Capacity reports the configured capacity in bytes.
+func (c *Cache) Capacity() int64 {
+	var n int64
+	for i := range c.shards {
+		n += c.shards[i].capacity
+	}
+	return n
+}

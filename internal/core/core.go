@@ -1,0 +1,707 @@
+// Package core implements the paper's primary contribution: the
+// Log-Structured Append-tree (LSA, Sec. 4) and the Integrated
+// Append/Merge-tree (IAM, Sec. 5).  One Tree type serves both — the
+// paper's IamDB "works as either LSA or IAM with proper configuration"
+// — differing only in the flush policy that picks appends or merges.
+//
+// Structure (Fig. 2): one in-memory level L0 (the memtable, owned by
+// the DB layer) and n on-disk levels L1..Ln.  Level Li holds at most
+// t^i nodes with disjoint, sorted, not necessarily contiguous user-key
+// ranges.  A node is an MSTable of up to Ct bytes of record data.  The
+// tree compacts with three operations: flush (move a node's records to
+// its children), split (a full node with 2t children divides in two),
+// and combine (destroy a node, flushing its records down, to restore
+// Ni <= t^i).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"iamdb/internal/cache"
+	"iamdb/internal/engine"
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+	"iamdb/internal/manifest"
+	"iamdb/internal/table"
+	"iamdb/internal/vfs"
+)
+
+// Policy selects the paper's tree variant.
+type Policy int
+
+const (
+	// LSA compacts by appends everywhere; only a full leaf child
+	// forces a merge (Sec. 4).
+	LSA Policy = iota
+	// IAM divides levels into appending levels (< m), one mixed level
+	// (m, nodes capped at k sequences) and merging levels (> m), with
+	// m and k tuned to the memory budget by Eq. (2) (Sec. 5).
+	IAM
+)
+
+func (p Policy) String() string {
+	if p == LSA {
+		return "LSA"
+	}
+	return "IAM"
+}
+
+// Config parameterizes a Tree.  Zero fields take the paper's defaults.
+type Config struct {
+	FS    vfs.FS
+	Dir   string
+	Cache *cache.Cache
+
+	// NodeCapacity is Ct, the node size threshold (default 128 MiB;
+	// experiments scale it down, preserving ratios).
+	NodeCapacity int64
+	// Fanout is t: level thresholds are t^i and a node averages t
+	// children (default 10).
+	Fanout int
+	// Policy picks LSA or IAM.
+	Policy Policy
+	// K caps the sequences per node in IAM's mixed level (default 3).
+	K int
+	// MemBudget is M, the memory available for caching appended
+	// sequences (Sec. 5.1.3).  Defaults to the cache's capacity.
+	MemBudget int64
+	// FixedM pins the mixed level (used by Table 3's ablation);
+	// 0 means tune m from Eq. (2) on every flush.
+	FixedM int
+	// LeafInitFrac divides Ct to get the initial size of leaf nodes
+	// born from a leaf merge: Cts = Ct/LeafInitFrac (default 5).
+	LeafInitFrac int
+	// CapFactor scales the MSTable file capacity relative to Ct,
+	// leaving hole room for appends (default 2.0).
+	CapFactor float64
+	// BitsPerKey sets Bloom-filter density (default 14).
+	BitsPerKey int
+	// Compression enables flate compression of data blocks (off by
+	// default, matching the paper's setup).
+	Compression bool
+}
+
+func (c *Config) fill() {
+	if c.NodeCapacity == 0 {
+		c.NodeCapacity = 128 << 20
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 10
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	if c.LeafInitFrac == 0 {
+		c.LeafInitFrac = 5
+	}
+	if c.CapFactor == 0 {
+		c.CapFactor = 2.0
+	}
+	if c.MemBudget == 0 && c.Cache != nil {
+		c.MemBudget = c.Cache.Capacity()
+	}
+}
+
+func (c *Config) fileCapacity() int64 {
+	return int64(float64(c.NodeCapacity) * c.CapFactor)
+}
+
+// node is one on-disk tree node: an MSTable plus its assigned range,
+// which always covers the node's data but may be wider.
+type node struct {
+	num  uint64
+	tbl  *table.Table
+	rng  kv.Range
+	refs int32 // guarded by Tree.mu; table closes at zero
+}
+
+func (nd *node) dataSize() int64 { return nd.tbl.DataSize() }
+
+// ref pins the node's table open; caller holds Tree.mu.
+func (t *Tree) ref(nd *node) { nd.refs++ }
+
+// unref releases a pin, closing the table once the tree has dropped the
+// node and no reader holds it.
+func (t *Tree) unref(nd *node) {
+	t.mu.Lock()
+	nd.refs--
+	if nd.refs == 0 {
+		nd.tbl.Close()
+	}
+	t.mu.Unlock()
+}
+
+// Tree is an LSA- or IAM-tree.  All exported methods are safe for
+// concurrent use; structural changes serialize on one mutex while reads
+// go through immutable node tables.
+type Tree struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// levels[0] is unused (L0 is the memtable); levels[1..n] are the
+	// on-disk levels.  Nodes in a level are sorted by range.
+	levels   [][]*node
+	nextFile uint64
+	man      *manifest.Log
+	horizon  kv.Seq
+	logSeq   kv.Seq
+	logNum   uint64
+	// curM/curK cache the IAM policy tuning for the current flush.
+	curM, curK int
+
+	stats engine.Stats
+}
+
+var _ engine.Engine = (*Tree)(nil)
+
+const manifestName = "MANIFEST"
+
+// Open creates or reopens a tree in cfg.Dir.
+func Open(cfg Config) (*Tree, error) {
+	cfg.fill()
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, err
+	}
+	t := &Tree{cfg: cfg, horizon: kv.MaxSeq}
+	manPath := cfg.Dir + "/" + manifestName
+	if cfg.FS.Exists(manPath) {
+		st, err := manifest.Replay(cfg.FS, manPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.loadState(st); err != nil {
+			return nil, err
+		}
+		// Compact the manifest on open.
+		man, err := manifest.Create(cfg.FS, manPath+".tmp", t.snapshotState())
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.FS.Rename(manPath+".tmp", manPath); err != nil {
+			man.Close()
+			return nil, err
+		}
+		t.man = man
+	} else {
+		t.nextFile = 1
+		t.levels = make([][]*node, 2) // L1 exists, empty
+		man, err := manifest.Create(cfg.FS, manPath, t.snapshotState())
+		if err != nil {
+			return nil, err
+		}
+		t.man = man
+	}
+	return t, nil
+}
+
+func (t *Tree) loadState(st *manifest.State) error {
+	t.nextFile = st.NextFile
+	t.logSeq = st.LastSeq
+	t.logNum = st.LogNum
+	n := st.NumLevels
+	if n < 1 {
+		n = 1
+	}
+	for len(st.Levels) > n+1 {
+		n = len(st.Levels) - 1
+	}
+	t.levels = make([][]*node, n+1)
+	for lvl := 1; lvl < len(st.Levels); lvl++ {
+		for _, rec := range st.Levels[lvl] {
+			tbl, err := table.Open(t.cfg.FS, engine.TableFileName(t.cfg.Dir, rec.FileNum),
+				rec.FileNum, table.Options{Cache: t.cfg.Cache, BitsPerKey: t.cfg.BitsPerKey,
+					Compression: t.cfg.Compression})
+			if err != nil {
+				return fmt.Errorf("core: open node %d: %w", rec.FileNum, err)
+			}
+			nd := &node{num: rec.FileNum, tbl: tbl, rng: kv.MakeRange(rec.Lo, rec.Hi), refs: 1}
+			t.levels[lvl] = append(t.levels[lvl], nd)
+		}
+	}
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		t.sortLevel(lvl)
+	}
+	return nil
+}
+
+func (t *Tree) snapshotState() *manifest.State {
+	st := &manifest.State{
+		NextFile:  t.nextFile,
+		LastSeq:   t.logSeq,
+		LogNum:    t.logNum,
+		NumLevels: t.n(),
+	}
+	st.Levels = make([][]manifest.NodeRecord, len(t.levels))
+	for lvl := 1; lvl < len(t.levels); lvl++ {
+		for _, nd := range t.levels[lvl] {
+			st.Levels[lvl] = append(st.Levels[lvl], t.record(lvl, nd))
+		}
+	}
+	return st
+}
+
+func (t *Tree) record(lvl int, nd *node) manifest.NodeRecord {
+	return manifest.NodeRecord{Level: lvl, FileNum: nd.num, Lo: nd.rng.Lo, Hi: nd.rng.Hi}
+}
+
+// n returns the number of on-disk levels.
+func (t *Tree) n() int { return len(t.levels) - 1 }
+
+// threshold returns t^i, the node-count threshold of level i.
+func (t *Tree) threshold(i int) int {
+	th := 1
+	for j := 0; j < i; j++ {
+		th *= t.cfg.Fanout
+	}
+	return th
+}
+
+func (t *Tree) sortLevel(i int) {
+	sort.Slice(t.levels[i], func(a, b int) bool {
+		return kv.CompareUser(t.levels[i][a].rng.Lo, t.levels[i][b].rng.Lo) < 0
+	})
+}
+
+// full reports whether a node reached the size threshold Ct.
+func (t *Tree) full(nd *node) bool { return nd.dataSize() >= t.cfg.NodeCapacity }
+
+// childSpan returns the half-open index interval [start, end) of nodes
+// in levels[i+1] overlapping rng.  Ranges within a level are disjoint
+// and sorted, so both bounds binary-search.
+func (t *Tree) childSpan(i int, rng kv.Range) (int, int) {
+	if i+1 > t.n() || rng.Empty() {
+		return 0, 0
+	}
+	lvl := t.levels[i+1]
+	start := sort.Search(len(lvl), func(j int) bool {
+		return kv.CompareUser(lvl[j].rng.Hi, rng.Lo) >= 0
+	})
+	end := sort.Search(len(lvl), func(j int) bool {
+		return kv.CompareUser(lvl[j].rng.Lo, rng.Hi) > 0
+	})
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// children returns the indices in levels[i+1] of nodes overlapping rng.
+// An empty slice means the flush can move the node down untouched.
+func (t *Tree) children(i int, rng kv.Range) []int {
+	start, end := t.childSpan(i, rng)
+	if start >= end {
+		return nil
+	}
+	out := make([]int, 0, end-start)
+	for j := start; j < end; j++ {
+		out = append(out, j)
+	}
+	return out
+}
+
+// childCount counts levels[i+1] nodes overlapping rng without
+// materializing indices.
+func (t *Tree) childCount(i int, rng kv.Range) int {
+	start, end := t.childSpan(i, rng)
+	return end - start
+}
+
+// findNode returns the node in level i whose range contains ukey.
+func (t *Tree) findNode(i int, ukey []byte) *node {
+	lvl := t.levels[i]
+	idx := sort.Search(len(lvl), func(j int) bool {
+		return kv.CompareUser(ukey, lvl[j].rng.Hi) <= 0
+	})
+	if idx < len(lvl) && lvl[idx].rng.Contains(ukey) {
+		return lvl[idx]
+	}
+	return nil
+}
+
+func (t *Tree) newTable() (*table.Table, uint64, error) {
+	return t.newTableCap(t.cfg.fileCapacity())
+}
+
+func (t *Tree) newTableCap(capacity int64) (*table.Table, uint64, error) {
+	num := t.nextFile
+	t.nextFile++
+	tbl, err := table.Create(t.cfg.FS, engine.TableFileName(t.cfg.Dir, num), num,
+		capacity, table.Options{Cache: t.cfg.Cache, BitsPerKey: t.cfg.BitsPerKey,
+			Compression: t.cfg.Compression})
+	if err != nil {
+		return nil, 0, err
+	}
+	return tbl, num, nil
+}
+
+// deleteNode removes a node's file; the table handle closes when the
+// last reader releases it.  Caller holds Tree.mu.
+func (t *Tree) deleteNode(nd *node) {
+	nd.tbl.EvictBlocks()
+	nd.refs--
+	if nd.refs == 0 {
+		nd.tbl.Close()
+	}
+	t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, nd.num))
+}
+
+// SetHorizon implements engine.Engine.
+func (t *Tree) SetHorizon(h kv.Seq) {
+	t.mu.Lock()
+	t.horizon = h
+	t.mu.Unlock()
+}
+
+// SetLogMeta durably records the DB layer's WAL position.
+func (t *Tree) SetLogMeta(lastSeq kv.Seq, logNum uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.logSeq, t.logNum = lastSeq, logNum
+	return t.man.Append(&manifest.Edit{
+		LastSeq: lastSeq, SetLastSeq: true,
+		LogNum: logNum, SetLogNum: true,
+		NextFile: t.nextFile, SetNextFile: true,
+	})
+}
+
+// LogMeta returns the recovered WAL position.
+func (t *Tree) LogMeta() (kv.Seq, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.logSeq, t.logNum
+}
+
+// NeedsWork implements engine.Engine.  The tree performs its entire
+// compaction cascade inside Flush, so no background work is pending.
+func (t *Tree) NeedsWork() bool { return false }
+
+// WorkStep implements engine.Engine.
+func (t *Tree) WorkStep() (bool, error) { return false, nil }
+
+// StallLevel implements engine.Engine.  The tree never throttles
+// beyond the natural blocking of Flush itself.
+func (t *Tree) StallLevel() int { return 0 }
+
+// Get implements engine.Engine: at most one node per level is probed,
+// newest level first, and within a node sequences are probed newest
+// first with Bloom filters (Sec. 5.2).
+func (t *Tree) Get(ukey []byte, snap kv.Seq) ([]byte, kv.Kind, kv.Seq, bool, error) {
+	t.mu.Lock()
+	var cands []*node
+	for i := 1; i <= t.n(); i++ {
+		if nd := t.findNode(i, ukey); nd != nil {
+			t.ref(nd)
+			cands = append(cands, nd)
+		}
+	}
+	t.mu.Unlock()
+	defer func() {
+		for _, nd := range cands {
+			t.unref(nd)
+		}
+	}()
+	for _, nd := range cands {
+		v, k, s, found, err := nd.tbl.Get(ukey, snap)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if found {
+			return v, k, s, true, nil
+		}
+	}
+	return nil, 0, 0, false, nil
+}
+
+// NewIter implements engine.Engine: a merge across one concatenated
+// iterator per level.  A scan therefore consults every sequence of at
+// most one node per level, as Sec. 5.2 describes.
+func (t *Tree) NewIter() iterator.Iterator {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kids := make([]iterator.Iterator, 0, t.n())
+	for i := 1; i <= t.n(); i++ {
+		nodes := append([]*node(nil), t.levels[i]...)
+		for _, nd := range nodes {
+			nd.refs++
+		}
+		kids = append(kids, &levelIter{t: t, nodes: nodes})
+	}
+	return iterator.NewMerging(kv.CompareInternal, kids...)
+}
+
+// Stats implements engine.Engine.
+func (t *Tree) Stats() engine.StatsSnapshot { return t.stats.Snapshot() }
+
+// Levels implements engine.Engine.
+func (t *Tree) Levels() []engine.LevelInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]engine.LevelInfo, 0, t.n())
+	for i := 1; i <= t.n(); i++ {
+		info := engine.LevelInfo{Level: i, Nodes: len(t.levels[i])}
+		for _, nd := range t.levels[i] {
+			info.Bytes += nd.dataSize()
+			info.Seqs += nd.tbl.NumSeqs()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// SpaceUsed implements engine.Engine.
+func (t *Tree) SpaceUsed() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int64
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			n += nd.tbl.UsedBytes()
+		}
+	}
+	return n
+}
+
+// LevelDataSizes returns D_1..D_n, the inputs to Eq. (2).
+func (t *Tree) LevelDataSizes() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.levelDataSizesLocked()
+}
+
+func (t *Tree) levelDataSizesLocked() []int64 {
+	out := make([]int64, t.n()+1)
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			out[i] += nd.dataSize()
+		}
+	}
+	return out
+}
+
+// Close implements engine.Engine.
+func (t *Tree) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			nd.tbl.Close()
+		}
+	}
+	return t.man.Close()
+}
+
+// CheckInvariants validates the tree's structural invariants; tests and
+// the harness call it after workloads.
+func (t *Tree) CheckInvariants() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i <= t.n(); i++ {
+		lvl := t.levels[i]
+		for j, nd := range lvl {
+			if nd.tbl.Entries() > 0 {
+				dr := nd.tbl.UserRange()
+				if !nd.rng.Contains(dr.Lo) || !nd.rng.Contains(dr.Hi) {
+					return fmt.Errorf("L%d node %d: data %v outside range %v", i, nd.num, dr, nd.rng)
+				}
+			}
+			if j > 0 && !lvl[j-1].rng.Before(nd.rng) {
+				return fmt.Errorf("L%d: ranges %v and %v not disjoint/sorted",
+					i, lvl[j-1].rng, nd.rng)
+			}
+		}
+		if i < t.n() && len(lvl) > t.threshold(i) {
+			return fmt.Errorf("L%d has %d nodes > threshold %d", i, len(lvl), t.threshold(i))
+		}
+	}
+	return nil
+}
+
+// levelIter concatenates the nodes of one level (ranges are disjoint
+// and sorted, so concatenation preserves order).  It holds a reference
+// on every node until Close.
+type levelIter struct {
+	t      *Tree
+	nodes  []*node
+	idx    int
+	cur    iterator.Iterator
+	err    error
+	closed bool
+}
+
+func (l *levelIter) open(i int) {
+	l.idx = i
+	if i >= 0 && i < len(l.nodes) {
+		l.cur = l.nodes[i].tbl.NewIter()
+	} else {
+		l.cur = nil
+	}
+}
+
+// First implements iterator.Iterator.
+func (l *levelIter) First() {
+	l.err = nil
+	l.open(0)
+	if l.cur != nil {
+		l.cur.First()
+		l.skipExhausted()
+	}
+}
+
+// Seek implements iterator.Iterator.
+func (l *levelIter) Seek(target []byte) {
+	l.err = nil
+	u := kv.UserKey(target)
+	i := sort.Search(len(l.nodes), func(j int) bool {
+		return kv.CompareUser(u, l.nodes[j].rng.Hi) <= 0
+	})
+	l.open(i)
+	if l.cur != nil {
+		l.cur.Seek(target)
+		l.skipExhausted()
+	}
+}
+
+// Next implements iterator.Iterator.
+func (l *levelIter) Next() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Next()
+	l.skipExhausted()
+}
+
+func (l *levelIter) skipExhausted() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur = nil
+			return
+		}
+		l.cur.Close()
+		l.open(l.idx + 1)
+		if l.cur != nil {
+			l.cur.First()
+		}
+	}
+}
+
+// Valid implements iterator.Iterator.
+func (l *levelIter) Valid() bool { return l.cur != nil && l.cur.Valid() }
+
+// Key implements iterator.Iterator.
+func (l *levelIter) Key() []byte {
+	if l.cur == nil {
+		return nil
+	}
+	return l.cur.Key()
+}
+
+// Value implements iterator.Iterator.
+func (l *levelIter) Value() []byte {
+	if l.cur == nil {
+		return nil
+	}
+	return l.cur.Value()
+}
+
+// Err implements iterator.Iterator.
+func (l *levelIter) Err() error { return l.err }
+
+// Close implements iterator.Iterator.
+func (l *levelIter) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.cur != nil {
+		err = l.cur.Close()
+	}
+	for _, nd := range l.nodes {
+		l.t.unref(nd)
+	}
+	return err
+}
+
+// Last implements iterator.ReverseIterator.
+func (l *levelIter) Last() {
+	l.err = nil
+	l.open(len(l.nodes) - 1)
+	if l.cur != nil {
+		l.cur.(iterator.ReverseIterator).Last()
+		l.skipExhaustedBackward()
+	}
+}
+
+// Prev implements iterator.ReverseIterator.
+func (l *levelIter) Prev() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.(iterator.ReverseIterator).Prev()
+	l.skipExhaustedBackward()
+}
+
+// SeekForPrev implements iterator.ReverseIterator.
+func (l *levelIter) SeekForPrev(target []byte) {
+	l.err = nil
+	u := kv.UserKey(target)
+	// Last node whose range starts at or below the target key.
+	i := sort.Search(len(l.nodes), func(j int) bool {
+		return kv.CompareUser(l.nodes[j].rng.Lo, u) > 0
+	}) - 1
+	if i < 0 {
+		l.cur = nil
+		l.idx = 0
+		return
+	}
+	l.open(i)
+	if l.cur != nil {
+		l.cur.(iterator.ReverseIterator).SeekForPrev(target)
+		l.skipExhaustedBackward()
+	}
+}
+
+func (l *levelIter) skipExhaustedBackward() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur = nil
+			return
+		}
+		l.cur.Close()
+		if l.idx == 0 {
+			l.cur = nil
+			return
+		}
+		l.open(l.idx - 1)
+		if l.cur != nil {
+			l.cur.(iterator.ReverseIterator).Last()
+		}
+	}
+}
+
+// ApproximateSize estimates the data bytes stored in the user-key
+// range [lo, hi]: full node sizes for nodes entirely inside, halves
+// for boundary overlaps.
+func (t *Tree) ApproximateSize(lo, hi []byte) int64 {
+	rng := kv.MakeRange(lo, hi)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			if !nd.rng.Overlaps(rng) {
+				continue
+			}
+			if rng.Contains(nd.rng.Lo) && rng.Contains(nd.rng.Hi) {
+				total += nd.dataSize()
+			} else {
+				total += nd.dataSize() / 2
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,668 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"iamdb/internal/engine"
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+	"iamdb/internal/manifest"
+	"iamdb/internal/table"
+)
+
+// batch is an in-memory run of records in internal-key order, the unit
+// a flush partitions and delivers ("the records to be flushed are
+// loaded into memory first", Sec. 4.2.1).
+type batch struct {
+	keys, vals [][]byte
+}
+
+func (b *batch) len() int { return len(b.keys) }
+
+func (b *batch) iter() iterator.Iterator {
+	return iterator.NewSlice(kv.CompareInternal, b.keys, b.vals)
+}
+
+// span returns the user-key span of the batch.
+func (b *batch) span() kv.Range {
+	if b.len() == 0 {
+		return kv.Range{}
+	}
+	return kv.MakeRange(kv.UserKey(b.keys[0]), kv.UserKey(b.keys[b.len()-1]))
+}
+
+func (b *batch) slice(lo, hi int) *batch {
+	return &batch{keys: b.keys[lo:hi], vals: b.vals[lo:hi]}
+}
+
+// collect materializes an iterator into a batch, copying keys and
+// values (table iterators reuse their buffers).
+func collect(it iterator.Iterator) (*batch, error) {
+	b := &batch{}
+	for it.First(); it.Valid(); it.Next() {
+		b.keys = append(b.keys, append([]byte(nil), it.Key()...))
+		b.vals = append(b.vals, append([]byte(nil), it.Value()...))
+	}
+	return b, it.Err()
+}
+
+// Flush implements engine.Engine: it empties one immutable memtable
+// (the in-memory L0 node) into the tree, running the full compaction
+// cascade the paper's flush/split/combine rules demand.
+func (t *Tree) Flush(it iterator.Iterator) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.CountFlush()
+	atBottom := t.treeEmptyLocked()
+	b, err := collect(engine.DropObsolete(it, t.horizon, atBottom))
+	if err != nil {
+		return err
+	}
+	if b.len() == 0 {
+		return nil
+	}
+	if err := t.maintain(); err != nil {
+		return err
+	}
+	t.retuneMK()
+	if err := t.flushBatch(0, b.span(), b); err != nil {
+		return err
+	}
+	return t.maintain()
+}
+
+func (t *Tree) treeEmptyLocked() bool {
+	for i := 1; i <= t.n(); i++ {
+		if len(t.levels[i]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// flushBatch delivers a batch from level src into level src+1, as the
+// tail half of a flush (the batch is the parent's merged records).
+func (t *Tree) flushBatch(src int, srcRange kv.Range, b *batch) error {
+	dst := src + 1
+	if dst > t.n() {
+		return fmt.Errorf("core: flush below leaf level (src %d, n %d)", src, t.n())
+	}
+	// Resolve full internal children first (flush precondition 2).
+	if dst < t.n() {
+		for {
+			resolved := true
+			for _, idx := range t.children(src, srcRange) {
+				kid := t.levels[dst][idx]
+				if t.full(kid) {
+					if err := t.flushNode(dst, kid, false); err != nil {
+						return err
+					}
+					resolved = false
+					break // structure changed; rescan
+				}
+			}
+			if resolved {
+				break
+			}
+		}
+	}
+	kidIdxs := t.children(src, srcRange)
+	if len(kidIdxs) == 0 {
+		// No children: the data becomes a new node in dst outright.
+		_, err := t.writeNodes(dst, b, t.cfg.NodeCapacity)
+		return err
+	}
+	return t.deliver(dst, kidIdxs, b)
+}
+
+// flushNode performs the flush operation of Sec. 4.2.1 on an on-disk
+// node: its records move to its children and the node empties.  With
+// destroy (a combine, Sec. 4.2.3) the node is removed afterwards.
+func (t *Tree) flushNode(i int, x *node, destroy bool) error {
+	t.stats.CountFlush()
+	// Precondition 1: fewer than 2t children, else split instead.
+	if t.childCount(i, x.rng) >= 2*t.cfg.Fanout {
+		if err := t.splitNode(i, x); err != nil {
+			return err
+		}
+		if !destroy {
+			return nil // split replaced the flush
+		}
+		// A combine picked a wide node; fall through is impossible
+		// since x no longer exists.  The caller's maintain loop will
+		// pick a new combine candidate.
+		return nil
+	}
+	// Move-down fast path: no children means no rewriting, only
+	// metadata changes (the sequential-write property of Sec. 4.2.1).
+	if t.childCount(i, x.rng) == 0 {
+		if i+1 > t.n() {
+			return fmt.Errorf("core: move below leaf level from L%d", i)
+		}
+		t.removeFromLevel(i, x)
+		t.addToLevel(i+1, x)
+		t.stats.CountMove()
+		return t.logEdit(&manifest.Edit{
+			Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}},
+			Added:   []manifest.NodeRecord{t.record(i+1, x)},
+		})
+	}
+	b, err := t.loadNode(x)
+	if err != nil {
+		return err
+	}
+	if err := t.flushBatch(i, x.rng, b); err != nil {
+		return err
+	}
+	if destroy {
+		t.removeFromLevel(i, x)
+		edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}}}
+		t.deleteNode(x)
+		return t.logEdit(edit)
+	}
+	return t.emptyNode(i, x)
+}
+
+// loadNode merges a node's sequences in memory, dropping obsolete
+// versions (the node's own sequences shadow each other).
+func (t *Tree) loadNode(x *node) (*batch, error) {
+	it := engine.DropObsolete(x.tbl.NewIter(), t.horizon, false)
+	defer it.Close()
+	return collect(it)
+}
+
+// emptyNode replaces a flushed node with a fresh empty one holding the
+// same assigned range (shrunk toward balance with its neighbors —
+// Sec. 4.2.1: "its key range usually remains unchanged but may be
+// reduced after flushing").  The old node object stays intact for any
+// concurrent readers still holding references to it.
+func (t *Tree) emptyNode(i int, x *node) error {
+	tbl, num, err := t.newTable()
+	if err != nil {
+		return err
+	}
+	fresh := &node{num: num, tbl: tbl, rng: x.rng, refs: 1}
+	t.removeFromLevel(i, x)
+	t.addToLevel(i, fresh)
+	t.deleteNode(x)
+	t.shrinkRange(i, fresh)
+	return t.logEdit(&manifest.Edit{
+		Deleted:  []manifest.NodeRef{{Level: i, FileNum: x.num}},
+		Added:    []manifest.NodeRecord{t.record(i, fresh)},
+		NextFile: t.nextFile, SetNextFile: true,
+	})
+}
+
+// shrinkRange narrows an empty node's range so its child count moves
+// toward its smaller neighbor's, shedding children from the side that
+// faces that neighbor.  The shed span becomes a gap the neighbor will
+// absorb via out-of-range assignment in a later flush.
+func (t *Tree) shrinkRange(i int, x *node) {
+	if i+1 > t.n() {
+		return
+	}
+	kids := t.children(i, x.rng)
+	if len(kids) < 2 {
+		return
+	}
+	lvl := t.levels[i]
+	pos := -1
+	for j, nd := range lvl {
+		if nd == x {
+			pos = j
+			break
+		}
+	}
+	if pos < 0 {
+		return
+	}
+	lo, hi := 0, len(kids) // retained child window [lo, hi)
+	if pos > 0 {
+		ln := len(t.children(i, lvl[pos-1].rng))
+		if len(kids)-ln >= 2 {
+			lo = (len(kids) - ln) / 2 // shed toward the left neighbor
+		}
+	}
+	if pos < len(lvl)-1 {
+		rn := len(t.children(i, lvl[pos+1].rng))
+		if (hi-lo)-rn >= 2 {
+			hi -= ((hi - lo) - rn) / 2 // shed toward the right neighbor
+		}
+	}
+	if lo == 0 && hi == len(kids) || lo >= hi {
+		return
+	}
+	next := t.levels[i+1]
+	newRng := kv.Range{}
+	for _, idx := range kids[lo:hi] {
+		newRng = newRng.Union(next[idx].rng)
+	}
+	newRng = clampRange(newRng, x.rng)
+	if !newRng.Empty() {
+		x.rng = newRng
+		t.sortLevel(i)
+	}
+}
+
+// clampRange intersects r with bound.
+func clampRange(r, bound kv.Range) kv.Range {
+	if r.Empty() || bound.Empty() {
+		return kv.Range{}
+	}
+	out := r
+	if kv.CompareUser(out.Lo, bound.Lo) < 0 {
+		out.Lo = bound.Lo
+	}
+	if kv.CompareUser(out.Hi, bound.Hi) > 0 {
+		out.Hi = bound.Hi
+	}
+	if kv.CompareUser(out.Lo, out.Hi) > 0 {
+		return kv.Range{}
+	}
+	return out
+}
+
+// deliver partitions a batch across the destination children and
+// appends or merges each child's share per the policy (Sec. 5.1).
+func (t *Tree) deliver(dst int, kidIdxs []int, b *batch) error {
+	kids := make([]*node, len(kidIdxs))
+	for j, idx := range kidIdxs {
+		kids[j] = t.levels[dst][idx]
+	}
+	leaf := dst == t.n()
+	// Grandchild counts decide gap assignment between internal kids.
+	var gcCount []int
+	if !leaf {
+		gcCount = make([]int, len(kids))
+		for j, kid := range kids {
+			gcCount[j] = len(t.children(dst, kid.rng))
+		}
+	}
+
+	// One pass over the sorted batch: compute each child's contiguous
+	// share [start, end).
+	type share struct{ start, end int }
+	shares := make([]share, len(kids))
+	for j := range shares {
+		shares[j] = share{-1, -1}
+	}
+	p := 0
+	assign := func(j, rec int) {
+		if shares[j].start < 0 {
+			shares[j].start = rec
+		}
+		shares[j].end = rec + 1
+	}
+	for rec := 0; rec < b.len(); rec++ {
+		u := kv.UserKey(b.keys[rec])
+		for p < len(kids) && kv.CompareUser(u, kids[p].rng.Hi) > 0 {
+			p++
+		}
+		switch {
+		case p < len(kids) && kids[p].rng.Contains(u):
+			assign(p, rec)
+		case p == 0:
+			assign(0, rec) // before the first child: closest is kids[0]
+		case p >= len(kids):
+			assign(len(kids)-1, rec) // after the last child
+		default:
+			// In the gap between kids[p-1] and kids[p].
+			left, right := p-1, p
+			var j int
+			if leaf {
+				// Leaf: assign to the child with the closest range.
+				if keyDistance(kids[left].rng.Hi, u) <= keyDistance(u, kids[right].rng.Lo) {
+					j = left
+				} else {
+					j = right
+				}
+			} else {
+				// Internal: prefer the child with fewer children to
+				// alleviate range skew (Sec. 4.2.1).
+				if gcCount[left] <= gcCount[right] {
+					j = left
+				} else {
+					j = right
+				}
+			}
+			// Keep assignment monotone: never go back before the last
+			// child that received a record.
+			if shares[right].start >= 0 {
+				j = right
+			}
+			assign(j, rec)
+		}
+	}
+
+	for j, s := range shares {
+		if s.start < 0 {
+			continue
+		}
+		if err := t.deliverToChild(dst, kids[j], b.slice(s.start, s.end)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// keyDistance approximates how far apart two user keys are, for the
+// leaf "closest range" rule: the magnitude of the difference of the
+// first eight bytes beyond the common prefix, interpreted big-endian.
+func keyDistance(a, b []byte) uint64 {
+	if kv.CompareUser(a, b) > 0 {
+		a, b = b, a
+	}
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	return keyNum(b[i:]) - keyNum(a[i:])
+}
+
+func keyNum(k []byte) uint64 {
+	var buf [8]byte
+	copy(buf[:], k)
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+// deliverToChild appends or merges one child's share.
+func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
+	if t.shouldMerge(dst, kid) {
+		return t.mergeChild(dst, kid, sub)
+	}
+	it := sub.iter()
+	it.First()
+	res, err := kid.tbl.AppendFrom(it, 1<<62)
+	if errors.Is(err, table.ErrNoSpace) {
+		return t.mergeChild(dst, kid, sub)
+	}
+	if err != nil {
+		return err
+	}
+	t.stats.CountAppend()
+	t.stats.AddFlushBytes(dst, res.Bytes)
+	newRng := kid.rng.Union(sub.span())
+	if newRng.String() != kid.rng.String() {
+		kid.rng = newRng
+		t.sortLevel(dst)
+		return t.logEdit(&manifest.Edit{
+			Deleted: []manifest.NodeRef{{Level: dst, FileNum: kid.num}},
+			Added:   []manifest.NodeRecord{t.record(dst, kid)},
+		})
+	}
+	return nil
+}
+
+// mergeChild rewrites a child together with its incoming share into
+// one or more fresh single-sequence nodes.  At the leaf level new
+// nodes start at Cts = Ct/LeafInitFrac (Sec. 4.2.1, Fig. 4); at
+// internal merging levels the merge yields a single node.
+func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
+	atBottom := dst == t.n()
+	chunk := t.cfg.NodeCapacity // internal merge: one (near-)full node
+	if atBottom && kid.dataSize()+int64(batchBytes(sub)) > t.cfg.NodeCapacity {
+		chunk = t.cfg.NodeCapacity / int64(t.cfg.LeafInitFrac)
+	}
+	merged := iterator.NewMerging(kv.CompareInternal, sub.iter(), kid.tbl.NewIter())
+	filtered := engine.DropObsolete(merged, t.horizon, atBottom)
+	filtered.First()
+	newNodes, bytes, err := t.writeNodesFrom(filtered, chunk)
+	if err != nil {
+		return err
+	}
+	t.stats.CountMerge()
+	t.stats.AddFlushBytes(dst, bytes)
+
+	edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: dst, FileNum: kid.num}},
+		NextFile: t.nextFile, SetNextFile: true}
+	t.removeFromLevel(dst, kid)
+	t.deleteNode(kid)
+	for _, nd := range newNodes {
+		t.addToLevel(dst, nd)
+		edit.Added = append(edit.Added, t.record(dst, nd))
+	}
+	return t.logEdit(edit)
+}
+
+func batchBytes(b *batch) int {
+	n := 0
+	for i := range b.keys {
+		n += len(b.keys[i]) + len(b.vals[i])
+	}
+	return n
+}
+
+// writeNodes writes a batch as new single-sequence node(s) in level
+// dst, chunked at limit bytes.
+func (t *Tree) writeNodes(dst int, b *batch, limit int64) ([]*node, error) {
+	it := b.iter()
+	it.First()
+	nodes, bytes, err := t.writeNodesFrom(it, limit)
+	if err != nil {
+		return nil, err
+	}
+	t.stats.AddFlushBytes(dst, bytes)
+	edit := &manifest.Edit{NextFile: t.nextFile, SetNextFile: true}
+	for _, nd := range nodes {
+		t.addToLevel(dst, nd)
+		edit.Added = append(edit.Added, t.record(dst, nd))
+	}
+	return nodes, t.logEdit(edit)
+}
+
+// writeNodesFrom drains a positioned iterator into fresh tables of at
+// most limit data bytes each (finishing the current user key, so all
+// versions of a key share one node), returning the new nodes (ranges =
+// data spans) and total bytes written.  Each chunk is gathered in
+// memory first so the file capacity can be sized to fit even when a
+// single key's version chain exceeds the node capacity.
+func (t *Tree) writeNodesFrom(it iterator.Iterator, limit int64) ([]*node, int64, error) {
+	var nodes []*node
+	var total int64
+	for it.Valid() {
+		cb := &batch{}
+		var bytes int64
+		var lastUser []byte
+		for ; it.Valid(); it.Next() {
+			u := kv.UserKey(it.Key())
+			if bytes >= limit && !bytesEqual(u, lastUser) {
+				break
+			}
+			cb.keys = append(cb.keys, append([]byte(nil), it.Key()...))
+			cb.vals = append(cb.vals, append([]byte(nil), it.Value()...))
+			bytes += int64(len(it.Key()) + len(it.Value()))
+			lastUser = append(lastUser[:0], u...)
+		}
+		if err := it.Err(); err != nil {
+			return nodes, total, err
+		}
+		if cb.len() == 0 {
+			break
+		}
+		capacity := t.cfg.fileCapacity()
+		if need := bytes + bytes/2 + 64*1024; need > capacity {
+			capacity = need // oversized version chain: grow the file
+		}
+		tbl, num, err := t.newTableCap(capacity)
+		if err != nil {
+			return nodes, total, err
+		}
+		res, err := tbl.Append(cb.iter())
+		if err != nil {
+			tbl.Close()
+			t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, num))
+			return nodes, total, err
+		}
+		total += res.Bytes
+		nodes = append(nodes, &node{num: num, tbl: tbl, rng: tbl.UserRange(), refs: 1})
+	}
+	return nodes, total, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	return len(a) == len(b) && string(a) == string(b)
+}
+
+// splitNode divides a full node with at least 2t children into two
+// nodes, each taking half the children (Sec. 4.2.2), eliminating the
+// worst write case.
+func (t *Tree) splitNode(i int, x *node) error {
+	kidIdxs := t.children(i, x.rng)
+	if len(kidIdxs) < 2 {
+		return fmt.Errorf("core: split of L%d node %d with %d children", i, x.num, len(kidIdxs))
+	}
+	next := t.levels[i+1]
+	half := len(kidIdxs) / 2
+	mid := next[kidIdxs[half]].rng.Lo
+
+	b, err := t.loadNode(x)
+	if err != nil {
+		return err
+	}
+	cut := 0
+	for cut < b.len() && kv.CompareUser(kv.UserKey(b.keys[cut]), mid) < 0 {
+		cut++
+	}
+	leftB, rightB := b.slice(0, cut), b.slice(cut, b.len())
+
+	// "The initial key range of the new node is formed by the smallest
+	// and largest keys of the records stored in itself and its
+	// assigned children", clamped to x's old range to stay disjoint
+	// from x's siblings.
+	leftRng, rightRng := leftB.span(), rightB.span()
+	for _, idx := range kidIdxs[:half] {
+		leftRng = leftRng.Union(next[idx].rng)
+	}
+	for _, idx := range kidIdxs[half:] {
+		rightRng = rightRng.Union(next[idx].rng)
+	}
+	leftRng = clampRange(leftRng, x.rng)
+	rightRng = clampRange(rightRng, x.rng)
+
+	var total int64
+	var newNodes []*node
+	for _, part := range []struct {
+		b   *batch
+		rng kv.Range
+	}{{leftB, leftRng}, {rightB, rightRng}} {
+		if part.rng.Empty() {
+			continue
+		}
+		it := part.b.iter()
+		it.First()
+		nds, bytes, err := t.writeNodesFrom(it, t.cfg.NodeCapacity)
+		if err != nil {
+			return err
+		}
+		total += bytes
+		if len(nds) == 0 {
+			// Empty half: materialize an empty node holding the range.
+			tbl, num, err := t.newTable()
+			if err != nil {
+				return err
+			}
+			nds = []*node{{num: num, tbl: tbl, rng: part.rng, refs: 1}}
+		} else {
+			nds[0].rng = part.rng // widen to the assigned range
+		}
+		newNodes = append(newNodes, nds...)
+	}
+	t.stats.CountSplit()
+	t.stats.AddFlushBytes(i, total)
+
+	edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}},
+		NextFile: t.nextFile, SetNextFile: true}
+	t.removeFromLevel(i, x)
+	t.deleteNode(x)
+	for _, nd := range newNodes {
+		t.addToLevel(i, nd)
+		edit.Added = append(edit.Added, t.record(i, nd))
+	}
+	return t.logEdit(edit)
+}
+
+// maintain restores the structural constraints before and after
+// flushes (Sec. 4.2.3): grow the tree when the leaf level fills, and
+// combine nodes of overfull internal levels.
+func (t *Tree) maintain() error {
+	for pass := 0; pass < 100000; pass++ {
+		n := t.n()
+		if len(t.levels[n]) >= t.threshold(n) {
+			// The leaf level is full: it becomes internal and a new
+			// empty leaf level opens beneath it.
+			t.levels = append(t.levels, nil)
+			if err := t.logEdit(&manifest.Edit{NumLevels: t.n(), SetLevels: true}); err != nil {
+				return err
+			}
+			continue
+		}
+		fixed := true
+		for i := t.n() - 1; i >= 1; i-- {
+			if len(t.levels[i]) > t.threshold(i) {
+				if err := t.combineOne(i); err != nil {
+					return err
+				}
+				fixed = false
+				break
+			}
+		}
+		if fixed {
+			return nil
+		}
+	}
+	return errors.New("core: maintain did not converge")
+}
+
+// combineOne picks and combines one node of level i per the paper's
+// candidate rule: among nodes with two adjacent siblings whose
+// three-node range covers at most 3t children, take the smallest such
+// cover (Tcn); this keeps the neighbors from splitting right away.
+func (t *Tree) combineOne(i int) error {
+	lvl := t.levels[i]
+	if len(lvl) == 0 {
+		return errors.New("core: combine on empty level")
+	}
+	best, bestTcn := -1, 1<<30
+	for j := 1; j < len(lvl)-1; j++ {
+		own := len(t.children(i, lvl[j].rng))
+		if own >= 2*t.cfg.Fanout {
+			continue
+		}
+		cover := lvl[j-1].rng.Union(lvl[j].rng).Union(lvl[j+1].rng)
+		tcn := t.childCount(i, cover)
+		if tcn <= 3*t.cfg.Fanout && tcn < bestTcn {
+			best, bestTcn = j, tcn
+		}
+	}
+	if best < 0 {
+		// Fallback: the node with the fewest children.
+		fewest := 1 << 30
+		for j := range lvl {
+			own := len(t.children(i, lvl[j].rng))
+			if own < fewest {
+				best, fewest = j, own
+			}
+		}
+	}
+	t.stats.CountCombine()
+	return t.flushNode(i, lvl[best], true)
+}
+
+func (t *Tree) removeFromLevel(i int, x *node) {
+	lvl := t.levels[i]
+	for j, nd := range lvl {
+		if nd == x {
+			t.levels[i] = append(lvl[:j], lvl[j+1:]...)
+			return
+		}
+	}
+}
+
+func (t *Tree) addToLevel(i int, x *node) {
+	t.levels[i] = append(t.levels[i], x)
+	t.sortLevel(i)
+}
+
+func (t *Tree) logEdit(e *manifest.Edit) error { return t.man.Append(e) }

@@ -1,0 +1,224 @@
+// Package engine defines the contract between the public DB layer and
+// the storage engines (the LSM baselines in internal/lsm and the
+// LSA/IAM trees in internal/core), plus helpers both sides share:
+// write-amplification statistics and the MVCC record filter applied
+// during merges.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+)
+
+// Engine is a storage tree: it accepts flushed memtables, performs its
+// own compaction, and serves reads.
+type Engine interface {
+	// Flush writes one immutable memtable (as an internal-key ordered
+	// iterator) into the tree, performing whatever compaction cascade
+	// the tree's policy requires.
+	Flush(it iterator.Iterator) error
+	// NeedsWork reports whether background compaction is pending
+	// (LSM baselines; the trees compact inside Flush).
+	NeedsWork() bool
+	// WorkStep performs one unit of background compaction, reporting
+	// whether it did anything.
+	WorkStep() (bool, error)
+	// StallLevel reports write-throttle state: 0 none, 1 slowdown,
+	// 2 stop.  The DB layer translates this into write delays.
+	StallLevel() int
+	// Get finds the newest version of ukey visible at snapshot snap.
+	Get(ukey []byte, snap kv.Seq) (val []byte, kind kv.Kind, seq kv.Seq, found bool, err error)
+	// NewIter returns a merged iterator over all on-disk data.
+	NewIter() iterator.Iterator
+	// SetHorizon tells the engine the oldest snapshot still active, so
+	// merges know which record versions remain reachable.
+	SetHorizon(h kv.Seq)
+	// Stats returns cumulative compaction statistics.
+	Stats() StatsSnapshot
+	// Levels summarizes the current tree shape.
+	Levels() []LevelInfo
+	// SpaceUsed reports on-disk bytes (data + metadata, holes free).
+	SpaceUsed() int64
+	// Close releases all resources.  The tree must be reopenable from
+	// its manifest afterwards.
+	Close() error
+}
+
+// LevelInfo summarizes one level for reporting.
+type LevelInfo struct {
+	Level int
+	Nodes int
+	Bytes int64 // data bytes stored
+	Seqs  int   // total sorted sequences across nodes
+}
+
+func (l LevelInfo) String() string {
+	return fmt.Sprintf("L%d: %d nodes, %d seqs, %.1f MiB",
+		l.Level, l.Nodes, l.Seqs, float64(l.Bytes)/(1<<20))
+}
+
+// Stats accumulates compaction-side counters.  All engines attribute
+// every table write to the level it lands in; Table 3 and Table 4 are
+// ratios of these counters to user bytes.
+type Stats struct {
+	mu sync.Mutex
+	s  StatsSnapshot
+}
+
+// StatsSnapshot is a copyable view of Stats.
+type StatsSnapshot struct {
+	// FlushBytes[i] = bytes written into level i by flushes/compactions
+	// (excluding the user log, as in the paper's Sec. 6.2 accounting).
+	FlushBytes []int64
+	Appends    int64 // append operations
+	Merges     int64 // merge (rewrite) operations
+	Moves      int64 // metadata-only move-downs
+	Splits     int64
+	Combines   int64
+	Flushes    int64 // node flushes (incl. memtable flushes)
+}
+
+// AddFlushBytes attributes written bytes to a destination level.
+func (st *Stats) AddFlushBytes(level int, n int64) {
+	st.mu.Lock()
+	for len(st.s.FlushBytes) <= level {
+		st.s.FlushBytes = append(st.s.FlushBytes, 0)
+	}
+	st.s.FlushBytes[level] += n
+	st.mu.Unlock()
+}
+
+// CountAppend, CountMerge, CountMove, CountSplit, CountCombine and
+// CountFlush increment their respective counters.
+func (st *Stats) CountAppend()  { st.mu.Lock(); st.s.Appends++; st.mu.Unlock() }
+func (st *Stats) CountMerge()   { st.mu.Lock(); st.s.Merges++; st.mu.Unlock() }
+func (st *Stats) CountMove()    { st.mu.Lock(); st.s.Moves++; st.mu.Unlock() }
+func (st *Stats) CountSplit()   { st.mu.Lock(); st.s.Splits++; st.mu.Unlock() }
+func (st *Stats) CountCombine() { st.mu.Lock(); st.s.Combines++; st.mu.Unlock() }
+func (st *Stats) CountFlush()   { st.mu.Lock(); st.s.Flushes++; st.mu.Unlock() }
+
+// Snapshot returns a copy of the counters.
+func (st *Stats) Snapshot() StatsSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.s
+	out.FlushBytes = append([]int64(nil), st.s.FlushBytes...)
+	return out
+}
+
+// TotalFlushBytes sums per-level flush bytes.
+func (s StatsSnapshot) TotalFlushBytes() int64 {
+	var n int64
+	for _, b := range s.FlushBytes {
+		n += b
+	}
+	return n
+}
+
+// DropObsolete wraps a merge input, applying the MVCC retention rule:
+// for each user key keep every version newer than horizon (still
+// visible to some snapshot) plus the newest version at or below the
+// horizon; drop the rest.  When atBottom is true — the merge output is
+// the deepest data for its key range — a tombstone that would be that
+// retained newest version is dropped entirely (Sec. 5.2: "In merges,
+// the outdated records are removed and the valid records remain").
+//
+// Appends never pass through this filter; that is precisely why append
+// trees carry extra space amplification (Sec. 5.3.3).
+func DropObsolete(it iterator.Iterator, horizon kv.Seq, atBottom bool) iterator.Iterator {
+	return &dropIter{in: it, horizon: horizon, atBottom: atBottom}
+}
+
+type dropIter struct {
+	in       iterator.Iterator
+	horizon  kv.Seq
+	atBottom bool
+	lastUser []byte
+	hasLast  bool
+	keptLow  bool // emitted the newest version <= horizon for lastUser
+}
+
+func (d *dropIter) reset() {
+	d.lastUser = d.lastUser[:0]
+	d.hasLast = false
+	d.keptLow = false
+}
+
+// skipDropped advances the inner iterator past records the retention
+// rule discards, leaving it on the next record to emit (or invalid).
+func (d *dropIter) skipDropped() {
+	for d.in.Valid() {
+		u, seq, kind, ok := kv.ParseInternalKey(d.in.Key())
+		if !ok {
+			return // surface the corrupt record to the caller
+		}
+		newUser := !d.hasLast || kv.CompareUser(u, d.lastUser) != 0
+		if newUser {
+			d.lastUser = append(d.lastUser[:0], u...)
+			d.hasLast = true
+			d.keptLow = false
+		}
+		if seq > d.horizon {
+			return // visible to a snapshot: keep
+		}
+		if !d.keptLow {
+			d.keptLow = true
+			if kind == kv.KindDelete && d.atBottom {
+				d.in.Next() // tombstone with nothing underneath: drop
+				continue
+			}
+			return
+		}
+		d.in.Next() // shadowed version: drop
+	}
+}
+
+// First implements iterator.Iterator.
+func (d *dropIter) First() {
+	d.reset()
+	d.in.First()
+	d.skipDropped()
+}
+
+// Seek implements iterator.Iterator.  Seeking mid-stream forgets user
+// key context; callers only Seek before consuming, which is safe.
+func (d *dropIter) Seek(target []byte) {
+	d.reset()
+	d.in.Seek(target)
+	d.skipDropped()
+}
+
+// Next implements iterator.Iterator.
+func (d *dropIter) Next() {
+	d.in.Next()
+	d.skipDropped()
+}
+
+// Valid implements iterator.Iterator.
+func (d *dropIter) Valid() bool { return d.in.Valid() }
+
+// Key implements iterator.Iterator.
+func (d *dropIter) Key() []byte { return d.in.Key() }
+
+// Value implements iterator.Iterator.
+func (d *dropIter) Value() []byte { return d.in.Value() }
+
+// Err implements iterator.Iterator.
+func (d *dropIter) Err() error { return d.in.Err() }
+
+// Close implements iterator.Iterator.
+func (d *dropIter) Close() error { return d.in.Close() }
+
+// TableFileName builds the canonical table file name for a file number.
+func TableFileName(dir string, num uint64) string {
+	return fmt.Sprintf("%s/%06d.mst", dir, num)
+}
+
+// RangeSizer is implemented by engines that can estimate the on-disk
+// bytes stored within a user-key range.
+type RangeSizer interface {
+	ApproximateSize(lo, hi []byte) int64
+}

@@ -1,0 +1,156 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+)
+
+type rec struct {
+	user string
+	seq  kv.Seq
+	kind kv.Kind
+}
+
+func dropInput(recs ...rec) iterator.Iterator {
+	var ks, vs [][]byte
+	for _, r := range recs {
+		ks = append(ks, kv.MakeInternalKey([]byte(r.user), r.seq, r.kind))
+		vs = append(vs, []byte("v"))
+	}
+	return iterator.NewSlice(kv.CompareInternal, ks, vs)
+}
+
+func collectDrop(it iterator.Iterator) []string {
+	var out []string
+	for it.First(); it.Valid(); it.Next() {
+		u, s, k, _ := kv.ParseInternalKey(it.Key())
+		out = append(out, fmt.Sprintf("%s@%d:%v", u, s, k))
+	}
+	return out
+}
+
+func TestDropObsoleteKeepsNewestOnly(t *testing.T) {
+	in := dropInput(
+		rec{"a", 30, kv.KindSet},
+		rec{"a", 20, kv.KindSet},
+		rec{"a", 10, kv.KindSet},
+		rec{"b", 5, kv.KindSet},
+	)
+	got := collectDrop(DropObsolete(in, kv.MaxSeq, false))
+	want := "[a@30:set b@5:set]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDropObsoleteHorizonKeepsVisible(t *testing.T) {
+	in := dropInput(
+		rec{"a", 30, kv.KindSet},
+		rec{"a", 20, kv.KindSet},
+		rec{"a", 10, kv.KindSet},
+	)
+	// Snapshot at 15 is active: keep 30 and 20 (>15) plus newest <= 15 (10).
+	got := collectDrop(DropObsolete(in, 15, false))
+	want := "[a@30:set a@20:set a@10:set]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	// Horizon 25: keep 30, plus newest <=25 (20); drop 10.
+	in2 := dropInput(
+		rec{"a", 30, kv.KindSet},
+		rec{"a", 20, kv.KindSet},
+		rec{"a", 10, kv.KindSet},
+	)
+	got = collectDrop(DropObsolete(in2, 25, false))
+	want = "[a@30:set a@20:set]"
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDropObsoleteTombstones(t *testing.T) {
+	mk := func() iterator.Iterator {
+		return dropInput(
+			rec{"a", 20, kv.KindDelete},
+			rec{"a", 10, kv.KindSet},
+			rec{"b", 5, kv.KindSet},
+		)
+	}
+	// Mid-tree: tombstone must survive to shadow deeper data.
+	got := collectDrop(DropObsolete(mk(), kv.MaxSeq, false))
+	if fmt.Sprint(got) != "[a@20:delete b@5:set]" {
+		t.Fatalf("mid-tree: %v", got)
+	}
+	// Bottom: tombstone and everything under it vanish.
+	got = collectDrop(DropObsolete(mk(), kv.MaxSeq, true))
+	if fmt.Sprint(got) != "[b@5:set]" {
+		t.Fatalf("bottom: %v", got)
+	}
+	// Bottom but tombstone above horizon: must stay (a snapshot may
+	// still need to observe the delete... and older versions too).
+	got = collectDrop(DropObsolete(mk(), 15, true))
+	if fmt.Sprint(got) != "[a@20:delete a@10:set b@5:set]" {
+		t.Fatalf("bottom with snapshot: %v", got)
+	}
+}
+
+func TestDropObsoleteEmptyAndSingle(t *testing.T) {
+	got := collectDrop(DropObsolete(dropInput(), kv.MaxSeq, true))
+	if got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+	got = collectDrop(DropObsolete(dropInput(rec{"x", 1, kv.KindSet}), kv.MaxSeq, true))
+	if fmt.Sprint(got) != "[x@1:set]" {
+		t.Fatalf("single: %v", got)
+	}
+	// A single tombstone at bottom disappears completely.
+	got = collectDrop(DropObsolete(dropInput(rec{"x", 1, kv.KindDelete}), kv.MaxSeq, true))
+	if got != nil {
+		t.Fatalf("single tombstone: %v", got)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	var st Stats
+	st.AddFlushBytes(3, 100)
+	st.AddFlushBytes(1, 50)
+	st.AddFlushBytes(3, 100)
+	st.CountAppend()
+	st.CountMerge()
+	st.CountMerge()
+	st.CountMove()
+	st.CountSplit()
+	st.CountCombine()
+	st.CountFlush()
+	s := st.Snapshot()
+	if s.FlushBytes[3] != 200 || s.FlushBytes[1] != 50 || s.FlushBytes[0] != 0 {
+		t.Fatalf("flush bytes: %v", s.FlushBytes)
+	}
+	if s.TotalFlushBytes() != 250 {
+		t.Fatalf("total: %d", s.TotalFlushBytes())
+	}
+	if s.Appends != 1 || s.Merges != 2 || s.Moves != 1 || s.Splits != 1 || s.Combines != 1 || s.Flushes != 1 {
+		t.Fatalf("counters: %+v", s)
+	}
+	// Snapshot is a copy.
+	s.FlushBytes[3] = 0
+	if st.Snapshot().FlushBytes[3] != 200 {
+		t.Fatal("snapshot aliases internal state")
+	}
+}
+
+func TestTableFileName(t *testing.T) {
+	if got := TableFileName("db", 7); got != "db/000007.mst" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLevelInfoString(t *testing.T) {
+	s := LevelInfo{Level: 2, Nodes: 3, Bytes: 2 << 20, Seqs: 5}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

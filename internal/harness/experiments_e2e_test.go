@@ -1,0 +1,34 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAllExperimentsEndToEnd regenerates every remaining table and
+// figure once at small scale — the full-pipeline integration test.
+// Skipped under -short (several minutes of simulated workloads).
+func TestAllExperimentsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	s := SmallScale
+	run := func(name string, f func() (Table, error)) {
+		t0 := time.Now()
+		tbl, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(tbl.Format())
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(t0))
+	}
+	run("table1", s.Table1)
+	run("table2", s.Table2)
+	run("table5", s.Table5)
+	run("figure7a", func() (Table, error) { return s.Figure7(ClassSSD100G) })
+	run("figure7c", func() (Table, error) { return s.Figure7(ClassHDD1T) })
+	run("figure8", s.Figure8)
+	run("figure9", s.Figure9)
+	run("figure10", s.Figure10)
+}

@@ -1,0 +1,352 @@
+// Package harness runs the paper's experiments (Sec. 6) at laptop
+// scale: it stacks a DB on a virtual-clock disk model (HDD or SSD
+// profile), loads it with YCSB hash loads or db_bench patterns, runs
+// the workloads, and reports the quantities the paper's tables and
+// figures plot — normalized throughput, per-level write amplification,
+// 99%/max latencies, and space usage.
+//
+// Scale substitution (documented in DESIGN.md): datasets are MiB, not
+// TiB, with every ratio preserved — fanout t, data:cache ratio, node
+// capacity Ct relative to dataset — so level counts and amplification
+// behaviour match the paper's regimes.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"iamdb"
+	"iamdb/internal/histogram"
+	"iamdb/internal/vfs"
+	"iamdb/internal/ycsb"
+)
+
+// Config describes one experiment environment.
+type Config struct {
+	Engine iamdb.EngineKind
+	Disk   vfs.DiskProfile
+	// Records is the number of 1 KiB-value records the load inserts.
+	Records uint64
+	// ValueSize is the record value size (paper: 1024).
+	ValueSize int
+	// Ct is the memtable/node capacity (scaled from 128 MiB).
+	Ct int64
+	// CacheBytes models available RAM for data blocks.
+	CacheBytes int64
+	// Threads is the compaction thread count (paper's -1t/-4t).
+	Threads int
+	// CPUPerOp charges fixed non-I/O time per operation so fully
+	// cached workloads have finite throughput.
+	CPUPerOp time.Duration
+	// Seed fixes workload randomness.
+	Seed int64
+	// FixedM/K pin IAM's mixed level (Table 3); zero = auto.
+	FixedM int
+	K      int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ValueSize == 0 {
+		c.ValueSize = 1024
+	}
+	if c.Ct == 0 {
+		c.Ct = 256 * 1024
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = int64(c.Records) * int64(c.ValueSize) / 6
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.CPUPerOp == 0 {
+		c.CPUPerOp = 5 * time.Microsecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.K == 0 {
+		c.K = 3
+	}
+	return c
+}
+
+// Env is a live experiment environment.
+type Env struct {
+	Cfg   Config
+	DB    *iamdb.DB
+	mem   *vfs.MemFS
+	clock *vfs.DiskClock
+	stats *vfs.IOStats
+	rng   *rand.Rand
+	value []byte
+}
+
+// paperCt is the paper's node capacity (Sec. 6.1): disk seek latency
+// scales by Ct/paperCt so the seek:transfer balance of compaction I/O
+// survives the dataset scale-down.  A flush reads one appended
+// sequence (~Ct/t bytes) per seek; at 128 MiB nodes the seek is ~9% of
+// that read on the paper's HDD, and scaling Ct without scaling seeks
+// would turn compactions seek-bound, which no full-size deployment is.
+// Consequence: absolute latencies are not paper-comparable, only
+// ratios between engines (EXPERIMENTS.md discusses this).
+const paperCt = 128 << 20
+
+// NewEnv builds the FS stack and opens the DB.
+func NewEnv(cfg Config) (*Env, error) {
+	cfg = cfg.withDefaults()
+	mem := vfs.NewMemFS()
+	clock := new(vfs.DiskClock)
+	profile := cfg.Disk
+	profile.SeekLatency = time.Duration(int64(profile.SeekLatency) * cfg.Ct / paperCt)
+	disk := vfs.NewDisk(mem, profile, clock)
+	stats := new(vfs.IOStats)
+	fs := vfs.NewStatsFS(disk, stats)
+
+	db, err := iamdb.Open("db", &iamdb.Options{
+		Engine:            cfg.Engine,
+		FS:                fs,
+		MemtableSize:      cfg.Ct,
+		CacheSize:         cfg.CacheBytes,
+		MemBudget:         cfg.CacheBytes / 2, // Sec. 5.1.3's M/2 refinement
+		K:                 cfg.K,
+		FixedM:            cfg.FixedM,
+		CompactionThreads: cfg.Threads,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Env{
+		Cfg: cfg, DB: db, mem: mem, clock: clock, stats: stats,
+		rng:   rng,
+		value: ycsb.Value(rng, cfg.ValueSize),
+	}, nil
+}
+
+// Close shuts the environment down.
+func (e *Env) Close() error { return e.DB.Close() }
+
+// LoadResult reports a load phase.
+type LoadResult struct {
+	Engine    string
+	Ops       uint64
+	UserBytes int64
+	DiskTime  time.Duration
+	OpsPerSec float64
+	WriteAmp  float64
+	PerLevel  []float64
+	P99       time.Duration
+	Max       time.Duration
+	SpaceUsed int64
+}
+
+// HashLoad inserts Records keys in hash order (YCSB's default load,
+// Sec. 6.2), measuring per-op latency against the virtual disk clock.
+func (e *Env) HashLoad() (LoadResult, error) {
+	return e.load(ycsb.KeyName)
+}
+
+// SeqLoad inserts Records keys in ascending order (db_bench fillseq).
+func (e *Env) SeqLoad() (LoadResult, error) {
+	return e.load(ycsb.OrderedKeyName)
+}
+
+// RandomLoad inserts with random (possibly repeating) keys, i.e.
+// db_bench fillrandom: updates occur.
+func (e *Env) RandomLoad() (LoadResult, error) {
+	n := e.Cfg.Records
+	return e.load(func(uint64) []byte {
+		return ycsb.KeyName(uint64(e.rng.Int63n(int64(n))))
+	})
+}
+
+// Overwrite re-writes every existing key once in random order
+// (db_bench overwrite); call after a load.
+func (e *Env) Overwrite() (LoadResult, error) {
+	n := e.Cfg.Records
+	return e.load(func(uint64) []byte {
+		return ycsb.KeyName(uint64(e.rng.Int63n(int64(n))))
+	})
+}
+
+func (e *Env) load(key func(i uint64) []byte) (LoadResult, error) {
+	hist := histogram.New()
+	start := e.clock.Elapsed()
+	for i := uint64(0); i < e.Cfg.Records; i++ {
+		t0 := e.clock.Elapsed()
+		if err := e.DB.Put(key(i), e.value); err != nil {
+			return LoadResult{}, err
+		}
+		hist.Record(e.clock.Elapsed() - t0 + e.Cfg.CPUPerOp)
+	}
+	elapsed := e.clock.Elapsed() - start +
+		time.Duration(e.Cfg.Records)*e.Cfg.CPUPerOp
+	m := e.DB.Metrics()
+	res := LoadResult{
+		Engine:    e.Cfg.Engine.String(),
+		Ops:       e.Cfg.Records,
+		UserBytes: m.UserBytes,
+		DiskTime:  elapsed,
+		OpsPerSec: rate(e.Cfg.Records, elapsed),
+		WriteAmp:  m.WriteAmplification(),
+		PerLevel:  perLevelAmp(m),
+		P99:       hist.Percentile(0.99),
+		Max:       hist.Max(),
+		SpaceUsed: m.SpaceUsed,
+	}
+	return res, nil
+}
+
+func rate(ops uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(ops) / d.Seconds()
+}
+
+func perLevelAmp(m iamdb.Metrics) []float64 {
+	out := make([]float64, len(m.Engine.FlushBytes))
+	for i, b := range m.Engine.FlushBytes {
+		if m.UserBytes > 0 {
+			out[i] = float64(b) / float64(m.UserBytes)
+		}
+	}
+	return out
+}
+
+// Settle runs the tuning phase to completion (flush + drain all
+// pending compactions), returning the disk time it consumed.
+func (e *Env) Settle() (time.Duration, error) {
+	start := e.clock.Elapsed()
+	if err := e.DB.CompactAll(); err != nil {
+		return 0, err
+	}
+	return e.clock.Elapsed() - start, nil
+}
+
+// RunResult reports one workload run.
+type RunResult struct {
+	Engine    string
+	Workload  string
+	Ops       int
+	OpsPerSec float64
+	P99       time.Duration
+	Max       time.Duration
+	ReadMiss  int
+}
+
+// RunWorkload executes ops operations of workload w against the store.
+func (e *Env) RunWorkload(w ycsb.Workload, ops int) (RunResult, error) {
+	runner := ycsb.NewRunner(w, e.Cfg.Records, e.Cfg.Seed+17)
+	hist := histogram.New()
+	start := e.clock.Elapsed()
+	misses := 0
+	for i := 0; i < ops; i++ {
+		op := runner.Next()
+		t0 := e.clock.Elapsed()
+		switch op.Type {
+		case ycsb.OpRead:
+			if _, err := e.DB.Get(op.Key); err == iamdb.ErrNotFound {
+				misses++
+			} else if err != nil {
+				return RunResult{}, err
+			}
+		case ycsb.OpUpdate, ycsb.OpInsert:
+			if err := e.DB.Put(op.Key, e.value); err != nil {
+				return RunResult{}, err
+			}
+		case ycsb.OpRMW:
+			if _, err := e.DB.Get(op.Key); err != nil && err != iamdb.ErrNotFound {
+				return RunResult{}, err
+			}
+			if err := e.DB.Put(op.Key, e.value); err != nil {
+				return RunResult{}, err
+			}
+		case ycsb.OpScan:
+			it := e.DB.NewIterator()
+			it.Seek(op.Key)
+			for n := 0; it.Valid() && n < op.ScanLen; n++ {
+				it.Next()
+			}
+			if err := it.Err(); err != nil {
+				it.Close()
+				return RunResult{}, err
+			}
+			it.Close()
+		}
+		hist.Record(e.clock.Elapsed() - t0 + e.Cfg.CPUPerOp)
+	}
+	elapsed := e.clock.Elapsed() - start + time.Duration(ops)*e.Cfg.CPUPerOp
+	return RunResult{
+		Engine:    e.Cfg.Engine.String(),
+		Workload:  w.Name,
+		Ops:       ops,
+		OpsPerSec: rate(uint64(ops), elapsed),
+		P99:       hist.Percentile(0.99),
+		Max:       hist.Max(),
+		ReadMiss:  misses,
+	}, nil
+}
+
+// ReadSeq scans the whole store once (db_bench readseq), returning the
+// record rate.
+func (e *Env) ReadSeq() (RunResult, error) {
+	start := e.clock.Elapsed()
+	it := e.DB.NewIterator()
+	defer it.Close()
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return RunResult{}, err
+	}
+	elapsed := e.clock.Elapsed() - start + time.Duration(n)*e.Cfg.CPUPerOp
+	return RunResult{
+		Engine: e.Cfg.Engine.String(), Workload: "readseq",
+		Ops: n, OpsPerSec: rate(uint64(n), elapsed),
+	}, nil
+}
+
+// SpaceUsed reports the store's on-disk footprint.
+func (e *Env) SpaceUsed() int64 { return e.DB.Metrics().SpaceUsed }
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}

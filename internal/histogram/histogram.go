@@ -1,0 +1,121 @@
+// Package histogram records operation latencies and reports the
+// percentile and maximum statistics the paper's QoS discussion uses
+// (99% latency and maximum latency, Sec. 6.2/6.4, Table 5).
+//
+// Buckets are logarithmic: ~4% relative width covers nanoseconds to
+// hours in a fixed small array, so recording is allocation-free.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	numBuckets = 512
+	// growth is the bucket width ratio; bucket i covers
+	// [minLatency*growth^i, minLatency*growth^(i+1)).
+	growth     = 1.05
+	minLatency = 100 // nanoseconds
+)
+
+// H is a latency histogram.  Not safe for concurrent use; harnesses
+// keep one per worker and Merge them.
+type H struct {
+	buckets [numBuckets]int64
+	count   int64
+	sum     int64
+	max     int64
+	min     int64
+}
+
+// New returns an empty histogram.
+func New() *H { return &H{min: math.MaxInt64} }
+
+func bucketOf(ns int64) int {
+	if ns < minLatency {
+		return 0
+	}
+	b := int(math.Log(float64(ns)/minLatency) / math.Log(growth))
+	if b >= numBuckets {
+		return numBuckets - 1
+	}
+	return b
+}
+
+// Record adds one latency observation.
+func (h *H) Record(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+	if ns < h.min {
+		h.min = ns
+	}
+}
+
+// Merge folds o into h.
+func (h *H) Merge(o *H) {
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+	if o.count > 0 && o.min < h.min {
+		h.min = o.min
+	}
+}
+
+// Count reports the number of observations.
+func (h *H) Count() int64 { return h.count }
+
+// Max reports the largest observation.
+func (h *H) Max() time.Duration { return time.Duration(h.max) }
+
+// Mean reports the average observation.
+func (h *H) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Percentile reports the latency at quantile q in [0, 1], e.g. 0.99.
+// The value is the upper edge of the bucket containing the quantile.
+func (h *H) Percentile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.count))
+	if target >= h.count {
+		return h.Max()
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum > target {
+			upper := minLatency * math.Pow(growth, float64(i+1))
+			if t := time.Duration(upper); t < h.Max() {
+				return t
+			}
+			return h.Max()
+		}
+	}
+	return h.Max()
+}
+
+// String renders the headline stats.
+func (h *H) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Percentile(0.50), h.Percentile(0.99), h.Max())
+}

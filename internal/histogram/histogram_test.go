@@ -1,0 +1,88 @@
+package histogram
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBasicStats(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Percentile(0.99) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram nonzero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 45*time.Millisecond || mean > 56*time.Millisecond {
+		t.Fatalf("mean %v", mean)
+	}
+}
+
+func TestPercentileAccuracy(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	var raw []int64
+	for i := 0; i < 100000; i++ {
+		ns := int64(rng.ExpFloat64() * 1e6) // ~1ms exponential
+		raw = append(raw, ns)
+		h.Record(time.Duration(ns))
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := time.Duration(raw[int(q*float64(len(raw)))])
+		got := h.Percentile(q)
+		// Log buckets: within ~10% relative error.
+		lo, hi := exact*85/100, exact*115/100
+		if got < lo || got > hi {
+			t.Errorf("p%.3f: got %v want about %v", q, got, exact)
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 1000; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("count %d", a.Count())
+	}
+	if a.Max() != time.Second {
+		t.Fatalf("max %v", a.Max())
+	}
+	if p := a.Percentile(0.25); p > 2*time.Millisecond {
+		t.Fatalf("p25 %v", p)
+	}
+	if p := a.Percentile(0.75); p < 500*time.Millisecond {
+		t.Fatalf("p75 %v", p)
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	h := New()
+	h.Record(0)
+	h.Record(time.Hour)
+	if h.Count() != 2 {
+		t.Fatal("count")
+	}
+	if h.Max() != time.Hour {
+		t.Fatalf("max %v", h.Max())
+	}
+	if h.Percentile(1.0) != time.Hour {
+		t.Fatalf("p100 %v", h.Percentile(1.0))
+	}
+	if h.String() == "" {
+		t.Fatal("string")
+	}
+}

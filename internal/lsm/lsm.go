@@ -1,0 +1,578 @@
+// Package lsm implements the leveled LSM-tree baselines the paper
+// compares against (Sec. 2.1, Fig. 1): an overflow-tolerant,
+// single-compaction LevelDB-style profile ("L") and a strict,
+// stall-controlled RocksDB-style profile ("R").
+//
+// Structure: L0 holds whole flushed memtables whose key ranges overlap;
+// L1..Ln hold disjoint sorted files.  When L0 reaches its file-count
+// trigger, all L0 files merge with the overlapping L1 files; when Li
+// exceeds its size threshold, one file (round-robin by key) merges with
+// its overlapping Li+1 files.  Every on-disk file is a single-sequence
+// MSTable (i.e. an SSTable).
+//
+// The two profiles model the tuning difference the paper leans on:
+//   - ProfileLevelDB rate-limits background work (one compaction step
+//     per memtable flush), so under write pressure levels overflow
+//     their thresholds — which lowers effective write amplification but
+//     lengthens the tuning phase and worsens tail latency (Sec. 6.2).
+//   - ProfileRocksDB drains all pending compaction promptly and applies
+//     slowdown/stop write stalls, so levels hold their thresholds — no
+//     overflow, higher write amplification, controlled latency.
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"iamdb/internal/cache"
+	"iamdb/internal/engine"
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+	"iamdb/internal/manifest"
+	"iamdb/internal/table"
+	"iamdb/internal/vfs"
+)
+
+// Profile selects the baseline tuning.
+type Profile int
+
+const (
+	// ProfileLevelDB models the paper's tuned LevelDB ("L").
+	ProfileLevelDB Profile = iota
+	// ProfileRocksDB models the paper's tuned RocksDB ("R").
+	ProfileRocksDB
+)
+
+func (p Profile) String() string {
+	if p == ProfileLevelDB {
+		return "LevelDB"
+	}
+	return "RocksDB"
+}
+
+// Config parameterizes the baseline engine.
+type Config struct {
+	FS    vfs.FS
+	Dir   string
+	Cache *cache.Cache
+
+	// FileSize is the SSTable target size (paper: 64 MiB).
+	FileSize int64
+	// LevelSizeBase is L1's size threshold (paper: 640 MiB); each
+	// deeper level multiplies by Fanout.
+	LevelSizeBase int64
+	// Fanout is the size ratio between adjacent levels (default 10).
+	Fanout int
+	// L0CompactTrigger is the L0 file count that starts a compaction
+	// (default 4); slowdown at 2x, stop at 3x.
+	L0CompactTrigger int
+	// MaxLevels bounds the level count (default 7, L0..L6).
+	MaxLevels int
+	// Profile picks LevelDB or RocksDB behaviour.
+	Profile Profile
+	// BitsPerKey sets Bloom density (default 14).
+	BitsPerKey int
+	// Compression enables flate compression of data blocks.
+	Compression bool
+}
+
+func (c *Config) fill() {
+	if c.FileSize == 0 {
+		c.FileSize = 64 << 20
+	}
+	if c.LevelSizeBase == 0 {
+		c.LevelSizeBase = 640 << 20
+	}
+	if c.Fanout == 0 {
+		c.Fanout = 10
+	}
+	if c.L0CompactTrigger == 0 {
+		c.L0CompactTrigger = 4
+	}
+	if c.MaxLevels == 0 {
+		c.MaxLevels = 7
+	}
+}
+
+type file struct {
+	num  uint64
+	tbl  *table.Table
+	rng  kv.Range
+	refs int32
+}
+
+// DB is the baseline leveled LSM engine.
+type DB struct {
+	mu  sync.Mutex
+	cfg Config
+
+	levels   [][]*file // levels[0] newest-last; levels[1..] sorted by range
+	nextFile uint64
+	man      *manifest.Log
+	horizon  kv.Seq
+	logSeq   kv.Seq
+	logNum   uint64
+
+	// cursor[i] remembers where round-robin compaction of level i
+	// stopped (the LevelDB compact pointer).
+	cursor map[int][]byte
+	stats  engine.Stats
+}
+
+var _ engine.Engine = (*DB)(nil)
+
+const manifestName = "MANIFEST"
+
+// Open creates or reopens a baseline LSM in cfg.Dir.
+func Open(cfg Config) (*DB, error) {
+	cfg.fill()
+	if err := cfg.FS.MkdirAll(cfg.Dir); err != nil {
+		return nil, err
+	}
+	d := &DB{cfg: cfg, horizon: kv.MaxSeq, cursor: make(map[int][]byte)}
+	d.levels = make([][]*file, cfg.MaxLevels)
+	manPath := cfg.Dir + "/" + manifestName
+	if cfg.FS.Exists(manPath) {
+		st, err := manifest.Replay(cfg.FS, manPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := d.loadState(st); err != nil {
+			return nil, err
+		}
+		man, err := manifest.Create(cfg.FS, manPath+".tmp", d.snapshotState())
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.FS.Rename(manPath+".tmp", manPath); err != nil {
+			man.Close()
+			return nil, err
+		}
+		d.man = man
+	} else {
+		d.nextFile = 1
+		man, err := manifest.Create(cfg.FS, manPath, d.snapshotState())
+		if err != nil {
+			return nil, err
+		}
+		d.man = man
+	}
+	return d, nil
+}
+
+func (d *DB) loadState(st *manifest.State) error {
+	d.nextFile = st.NextFile
+	d.logSeq = st.LastSeq
+	d.logNum = st.LogNum
+	for lvl := 0; lvl < len(st.Levels) && lvl < d.cfg.MaxLevels; lvl++ {
+		for _, rec := range st.Levels[lvl] {
+			tbl, err := table.Open(d.cfg.FS, engine.TableFileName(d.cfg.Dir, rec.FileNum),
+				rec.FileNum, table.Options{Cache: d.cfg.Cache, BitsPerKey: d.cfg.BitsPerKey,
+					Compression: d.cfg.Compression})
+			if err != nil {
+				return fmt.Errorf("lsm: open file %d: %w", rec.FileNum, err)
+			}
+			f := &file{num: rec.FileNum, tbl: tbl, rng: kv.MakeRange(rec.Lo, rec.Hi), refs: 1}
+			d.levels[lvl] = append(d.levels[lvl], f)
+		}
+	}
+	d.sortLevel0()
+	for i := 1; i < len(d.levels); i++ {
+		d.sortLevel(i)
+	}
+	return nil
+}
+
+func (d *DB) snapshotState() *manifest.State {
+	st := &manifest.State{NextFile: d.nextFile, LastSeq: d.logSeq, LogNum: d.logNum,
+		NumLevels: d.cfg.MaxLevels}
+	st.Levels = make([][]manifest.NodeRecord, len(d.levels))
+	for lvl := range d.levels {
+		for _, f := range d.levels[lvl] {
+			st.Levels[lvl] = append(st.Levels[lvl], d.record(lvl, f))
+		}
+	}
+	return st
+}
+
+func (d *DB) record(lvl int, f *file) manifest.NodeRecord {
+	return manifest.NodeRecord{Level: lvl, FileNum: f.num, Lo: f.rng.Lo, Hi: f.rng.Hi}
+}
+
+func (d *DB) sortLevel0() {
+	// L0 files ordered oldest-first by file number; reads walk them
+	// newest-first.
+	sort.Slice(d.levels[0], func(a, b int) bool {
+		return d.levels[0][a].num < d.levels[0][b].num
+	})
+}
+
+func (d *DB) sortLevel(i int) {
+	sort.Slice(d.levels[i], func(a, b int) bool {
+		return kv.CompareUser(d.levels[i][a].rng.Lo, d.levels[i][b].rng.Lo) < 0
+	})
+}
+
+func (d *DB) ref(f *file) { f.refs++ }
+
+func (d *DB) unref(f *file) {
+	d.mu.Lock()
+	f.refs--
+	if f.refs == 0 {
+		f.tbl.Close()
+	}
+	d.mu.Unlock()
+}
+
+func (d *DB) deleteFile(f *file) {
+	f.tbl.EvictBlocks()
+	f.refs--
+	if f.refs == 0 {
+		f.tbl.Close()
+	}
+	d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, f.num))
+}
+
+// threshold returns level i's size threshold in bytes.
+func (d *DB) threshold(i int) int64 {
+	th := d.cfg.LevelSizeBase
+	for j := 1; j < i; j++ {
+		th *= int64(d.cfg.Fanout)
+	}
+	return th
+}
+
+func (d *DB) levelBytes(i int) int64 {
+	var n int64
+	for _, f := range d.levels[i] {
+		n += f.tbl.DataSize()
+	}
+	return n
+}
+
+// SetHorizon implements engine.Engine.
+func (d *DB) SetHorizon(h kv.Seq) {
+	d.mu.Lock()
+	d.horizon = h
+	d.mu.Unlock()
+}
+
+// SetLogMeta durably records the DB layer's WAL position.
+func (d *DB) SetLogMeta(lastSeq kv.Seq, logNum uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.logSeq, d.logNum = lastSeq, logNum
+	return d.man.Append(&manifest.Edit{
+		LastSeq: lastSeq, SetLastSeq: true,
+		LogNum: logNum, SetLogNum: true,
+		NextFile: d.nextFile, SetNextFile: true,
+	})
+}
+
+// LogMeta returns the recovered WAL position.
+func (d *DB) LogMeta() (kv.Seq, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.logSeq, d.logNum
+}
+
+// Stats implements engine.Engine.
+func (d *DB) Stats() engine.StatsSnapshot { return d.stats.Snapshot() }
+
+// Levels implements engine.Engine.
+func (d *DB) Levels() []engine.LevelInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []engine.LevelInfo
+	for i := range d.levels {
+		info := engine.LevelInfo{Level: i, Nodes: len(d.levels[i])}
+		for _, f := range d.levels[i] {
+			info.Bytes += f.tbl.DataSize()
+			info.Seqs += f.tbl.NumSeqs()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// SpaceUsed implements engine.Engine.
+func (d *DB) SpaceUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var n int64
+	for i := range d.levels {
+		for _, f := range d.levels[i] {
+			n += f.tbl.UsedBytes()
+		}
+	}
+	return n
+}
+
+// Close implements engine.Engine.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.levels {
+		for _, f := range d.levels[i] {
+			f.tbl.Close()
+		}
+	}
+	return d.man.Close()
+}
+
+// Get implements engine.Engine: L0 files newest-first, then at most one
+// file per deeper level.
+func (d *DB) Get(ukey []byte, snap kv.Seq) ([]byte, kv.Kind, kv.Seq, bool, error) {
+	d.mu.Lock()
+	var cands []*file
+	for i := len(d.levels[0]) - 1; i >= 0; i-- {
+		f := d.levels[0][i]
+		if f.rng.Contains(ukey) {
+			d.ref(f)
+			cands = append(cands, f)
+		}
+	}
+	for i := 1; i < len(d.levels); i++ {
+		if f := d.findFile(i, ukey); f != nil {
+			d.ref(f)
+			cands = append(cands, f)
+		}
+	}
+	d.mu.Unlock()
+	defer func() {
+		for _, f := range cands {
+			d.unref(f)
+		}
+	}()
+	for _, f := range cands {
+		v, k, s, found, err := f.tbl.Get(ukey, snap)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if found {
+			return v, k, s, true, nil
+		}
+	}
+	return nil, 0, 0, false, nil
+}
+
+func (d *DB) findFile(i int, ukey []byte) *file {
+	lvl := d.levels[i]
+	idx := sort.Search(len(lvl), func(j int) bool {
+		return kv.CompareUser(ukey, lvl[j].rng.Hi) <= 0
+	})
+	if idx < len(lvl) && lvl[idx].rng.Contains(ukey) {
+		return lvl[idx]
+	}
+	return nil
+}
+
+// NewIter implements engine.Engine: every L0 file is its own child (its
+// range overlaps the others), deeper levels are concatenated.
+func (d *DB) NewIter() iterator.Iterator {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var kids []iterator.Iterator
+	for i := len(d.levels[0]) - 1; i >= 0; i-- {
+		f := d.levels[0][i]
+		d.ref(f)
+		kids = append(kids, &fileIter{d: d, files: []*file{f}})
+	}
+	for i := 1; i < len(d.levels); i++ {
+		if len(d.levels[i]) == 0 {
+			continue
+		}
+		files := append([]*file(nil), d.levels[i]...)
+		for _, f := range files {
+			f.refs++
+		}
+		kids = append(kids, &fileIter{d: d, files: files})
+	}
+	return iterator.NewMerging(kv.CompareInternal, kids...)
+}
+
+// fileIter concatenates disjoint sorted files of one level.
+type fileIter struct {
+	d      *DB
+	files  []*file
+	idx    int
+	cur    iterator.Iterator
+	err    error
+	closed bool
+}
+
+func (l *fileIter) open(i int) {
+	l.idx = i
+	if i >= 0 && i < len(l.files) {
+		l.cur = l.files[i].tbl.NewIter()
+	} else {
+		l.cur = nil
+	}
+}
+
+// First implements iterator.Iterator.
+func (l *fileIter) First() {
+	l.err = nil
+	l.open(0)
+	if l.cur != nil {
+		l.cur.First()
+		l.skip()
+	}
+}
+
+// Seek implements iterator.Iterator.
+func (l *fileIter) Seek(target []byte) {
+	l.err = nil
+	u := kv.UserKey(target)
+	i := sort.Search(len(l.files), func(j int) bool {
+		return kv.CompareUser(u, l.files[j].rng.Hi) <= 0
+	})
+	l.open(i)
+	if l.cur != nil {
+		l.cur.Seek(target)
+		l.skip()
+	}
+}
+
+// Next implements iterator.Iterator.
+func (l *fileIter) Next() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Next()
+	l.skip()
+}
+
+func (l *fileIter) skip() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur = nil
+			return
+		}
+		l.cur.Close()
+		l.open(l.idx + 1)
+		if l.cur != nil {
+			l.cur.First()
+		}
+	}
+}
+
+// Valid implements iterator.Iterator.
+func (l *fileIter) Valid() bool { return l.cur != nil && l.cur.Valid() }
+
+// Key implements iterator.Iterator.
+func (l *fileIter) Key() []byte {
+	if l.cur == nil {
+		return nil
+	}
+	return l.cur.Key()
+}
+
+// Value implements iterator.Iterator.
+func (l *fileIter) Value() []byte {
+	if l.cur == nil {
+		return nil
+	}
+	return l.cur.Value()
+}
+
+// Err implements iterator.Iterator.
+func (l *fileIter) Err() error { return l.err }
+
+// Close implements iterator.Iterator.
+func (l *fileIter) Close() error {
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.cur != nil {
+		err = l.cur.Close()
+	}
+	for _, f := range l.files {
+		l.d.unref(f)
+	}
+	return err
+}
+
+// Last implements iterator.ReverseIterator.
+func (l *fileIter) Last() {
+	l.err = nil
+	l.open(len(l.files) - 1)
+	if l.cur != nil {
+		l.cur.(iterator.ReverseIterator).Last()
+		l.skipBackward()
+	}
+}
+
+// Prev implements iterator.ReverseIterator.
+func (l *fileIter) Prev() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.(iterator.ReverseIterator).Prev()
+	l.skipBackward()
+}
+
+// SeekForPrev implements iterator.ReverseIterator.
+func (l *fileIter) SeekForPrev(target []byte) {
+	l.err = nil
+	u := kv.UserKey(target)
+	i := sort.Search(len(l.files), func(j int) bool {
+		return kv.CompareUser(l.files[j].rng.Lo, u) > 0
+	}) - 1
+	if i < 0 {
+		l.cur = nil
+		l.idx = 0
+		return
+	}
+	l.open(i)
+	if l.cur != nil {
+		l.cur.(iterator.ReverseIterator).SeekForPrev(target)
+		l.skipBackward()
+	}
+}
+
+func (l *fileIter) skipBackward() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur = nil
+			return
+		}
+		l.cur.Close()
+		if l.idx == 0 {
+			l.cur = nil
+			return
+		}
+		l.open(l.idx - 1)
+		if l.cur != nil {
+			l.cur.(iterator.ReverseIterator).Last()
+		}
+	}
+}
+
+// ApproximateSize estimates the data bytes stored in the user-key
+// range [lo, hi]: full file sizes for files entirely inside, halves
+// for boundary overlaps.
+func (d *DB) ApproximateSize(lo, hi []byte) int64 {
+	rng := kv.MakeRange(lo, hi)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for i := range d.levels {
+		for _, f := range d.levels[i] {
+			if !f.rng.Overlaps(rng) {
+				continue
+			}
+			if rng.Contains(f.rng.Lo) && rng.Contains(f.rng.Hi) {
+				total += f.tbl.DataSize()
+			} else {
+				total += f.tbl.DataSize() / 2
+			}
+		}
+	}
+	return total
+}

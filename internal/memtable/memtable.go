@@ -1,0 +1,261 @@
+// Package memtable implements the in-memory level L0 of LSA/IAM and the
+// memtable of the LSM baselines: a skiplist ordered by internal key.
+// Records accumulate here until the table reaches its capacity threshold
+// Ct, whereupon it becomes an immutable memtable and is flushed to disk
+// (Sec. 5.2).
+package memtable
+
+import (
+	"math/rand"
+	"sync"
+
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+)
+
+const (
+	maxHeight = 12
+	branching = 4
+)
+
+type node struct {
+	ikey  []byte
+	value []byte
+	next  []*node
+}
+
+// MemTable is a skiplist of internal keys.  Concurrent readers are safe
+// with one writer; the DB layer serializes writers.
+type MemTable struct {
+	mu     sync.RWMutex
+	head   *node
+	height int
+	rnd    *rand.Rand
+	size   int64
+	count  int
+}
+
+// New returns an empty memtable.
+func New() *MemTable {
+	return &MemTable{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(0xdeadbeef)),
+	}
+}
+
+func (m *MemTable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rnd.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with ikey >= key, filling
+// prev with the rightmost node before it on each level when prev != nil.
+func (m *MemTable) findGreaterOrEqual(key []byte, prev []*node) *node {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && kv.CompareInternal(next.ikey, key) < 0 {
+			x = next
+			continue
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+		if level == 0 {
+			return next
+		}
+		level--
+	}
+}
+
+// Add inserts a record.  Internal keys are unique (sequence numbers
+// never repeat), so Add never overwrites.
+func (m *MemTable) Add(seq kv.Seq, kind kv.Kind, ukey, value []byte) {
+	ikey := kv.MakeInternalKey(ukey, seq, kind)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev := make([]*node, maxHeight)
+	m.findGreaterOrEqual(ikey, prev)
+	h := m.randomHeight()
+	if h > m.height {
+		for i := m.height; i < h; i++ {
+			prev[i] = m.head
+		}
+		m.height = h
+	}
+	n := &node{ikey: ikey, value: append([]byte(nil), value...), next: make([]*node, h)}
+	for i := 0; i < h; i++ {
+		n.next[i] = prev[i].next[i]
+		prev[i].next[i] = n
+	}
+	m.size += int64(len(ikey) + len(value) + 16*h)
+	m.count++
+}
+
+// Get returns the newest record for ukey visible at snapshot snap.
+func (m *MemTable) Get(ukey []byte, snap kv.Seq) (value []byte, kind kv.Kind, seq kv.Seq, found bool) {
+	target := kv.MakeInternalKey(ukey, snap, kv.KindSet)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n := m.findGreaterOrEqual(target, nil)
+	if n == nil {
+		return nil, 0, 0, false
+	}
+	u, s, k, ok := kv.ParseInternalKey(n.ikey)
+	if !ok || kv.CompareUser(u, ukey) != 0 {
+		return nil, 0, 0, false
+	}
+	return n.value, k, s, true
+}
+
+// ApproximateSize reports the bytes the table occupies, the quantity
+// compared against the capacity threshold Ct.
+func (m *MemTable) ApproximateSize() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.size
+}
+
+// Count reports the number of records.
+func (m *MemTable) Count() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// Empty reports whether the table has no records.
+func (m *MemTable) Empty() bool { return m.Count() == 0 }
+
+// NewIter iterates the table in internal-key order.  The iterator sees
+// a live view; engines only iterate immutable memtables, so this is
+// safe in practice.
+func (m *MemTable) NewIter() iterator.Iterator { return &iter{m: m} }
+
+type iter struct {
+	m *MemTable
+	n *node
+}
+
+// First implements iterator.Iterator.
+func (it *iter) First() {
+	it.m.mu.RLock()
+	it.n = it.m.head.next[0]
+	it.m.mu.RUnlock()
+}
+
+// Seek implements iterator.Iterator.
+func (it *iter) Seek(target []byte) {
+	it.m.mu.RLock()
+	it.n = it.m.findGreaterOrEqual(target, nil)
+	it.m.mu.RUnlock()
+}
+
+// Next implements iterator.Iterator.
+func (it *iter) Next() {
+	if it.n != nil {
+		it.m.mu.RLock()
+		it.n = it.n.next[0]
+		it.m.mu.RUnlock()
+	}
+}
+
+// Valid implements iterator.Iterator.
+func (it *iter) Valid() bool { return it.n != nil }
+
+// Key implements iterator.Iterator.
+func (it *iter) Key() []byte {
+	if it.n == nil {
+		return nil
+	}
+	return it.n.ikey
+}
+
+// Value implements iterator.Iterator.
+func (it *iter) Value() []byte {
+	if it.n == nil {
+		return nil
+	}
+	return it.n.value
+}
+
+// Err implements iterator.Iterator.
+func (it *iter) Err() error { return nil }
+
+// Close implements iterator.Iterator.
+func (it *iter) Close() error { return nil }
+
+// findLessThan returns the last node with ikey < key, or nil.
+func (m *MemTable) findLessThan(key []byte) *node {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil && kv.CompareInternal(next.ikey, key) < 0 {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == m.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// findLast returns the final node, or nil when empty.
+func (m *MemTable) findLast() *node {
+	x := m.head
+	level := m.height - 1
+	for {
+		next := x.next[level]
+		if next != nil {
+			x = next
+			continue
+		}
+		if level == 0 {
+			if x == m.head {
+				return nil
+			}
+			return x
+		}
+		level--
+	}
+}
+
+// Last implements iterator.ReverseIterator.
+func (it *iter) Last() {
+	it.m.mu.RLock()
+	it.n = it.m.findLast()
+	it.m.mu.RUnlock()
+}
+
+// Prev implements iterator.ReverseIterator.  Skiplists have forward
+// pointers only, so each step re-descends from the head (O(log n), the
+// LevelDB approach).
+func (it *iter) Prev() {
+	if it.n == nil {
+		return
+	}
+	it.m.mu.RLock()
+	it.n = it.m.findLessThan(it.n.ikey)
+	it.m.mu.RUnlock()
+}
+
+// SeekForPrev implements iterator.ReverseIterator.
+func (it *iter) SeekForPrev(target []byte) {
+	it.m.mu.RLock()
+	n := it.m.findGreaterOrEqual(target, nil)
+	if n != nil && kv.CompareInternal(n.ikey, target) == 0 {
+		it.n = n
+	} else {
+		it.n = it.m.findLessThan(target)
+	}
+	it.m.mu.RUnlock()
+}

@@ -1,0 +1,957 @@
+// Package table implements the MSTable (Multiple Sequence Table), the
+// on-disk node format of LSA- and IAM-trees (Sec. 4.1), and the SSTable
+// as its single-sequence special case used by the LSM baselines.
+//
+// File layout, as described in the paper: record blocks (4 KiB) fill the
+// file from the beginning toward the end; the metadata — a per-sequence
+// index block and Bloom filter — starts from the end and grows in the
+// opposite direction; the middle is a hole reserved for future appends:
+//
+//	+--------------------------------------------------------------+
+//	| seq0 blocks | seq1 blocks | ... |   hole   | metadata | foot |
+//	+--------------------------------------------------------------+
+//	0          dataEnd                        metaOff       capacity
+//
+// Each append writes new data blocks at dataEnd and rewrites the (small)
+// metadata region and footer in place at the tail.  When the two fronts
+// would collide, Append fails with ErrNoSpace and the caller falls back
+// to a merge — exactly the degradation path IAM's flush strategy uses.
+package table
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+
+	"iamdb/internal/block"
+	"iamdb/internal/bloom"
+	"iamdb/internal/cache"
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+	"iamdb/internal/vfs"
+)
+
+const (
+	magic     = 0x4d53544247313921 // "MSTBG19!"
+	version   = 1
+	footerLen = 40
+)
+
+var (
+	// ErrNoSpace reports that an append would collide with the
+	// metadata region; the caller should merge instead.
+	ErrNoSpace = errors.New("table: no space for append")
+	// ErrCorrupt reports a malformed table file.
+	ErrCorrupt = errors.New("table: corrupt")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SeqMeta describes one sorted sequence inside an MSTable.
+type SeqMeta struct {
+	Entries  uint64
+	DataOff  uint64
+	DataLen  uint64
+	Smallest []byte // internal key
+	Largest  []byte // internal key
+	Bloom    bloom.Filter
+	RawIndex []byte
+}
+
+// Table is an open MSTable.  Methods are safe for concurrent readers;
+// Append must be externally serialized with respect to readers of the
+// same Table (the engines guarantee this via their version sets).
+type Table struct {
+	fs       vfs.FS
+	f        vfs.File
+	name     string
+	id       uint64
+	capacity int64
+	cache    *cache.Cache
+	bitsKey  int
+	compress bool
+
+	// mu guards seqs and dataEnd: the engines serialize appenders, but
+	// readers run concurrently with one appender, so the commit of a
+	// new sequence must be atomic with respect to them.  Existing
+	// SeqMeta entries are never modified, so readers may use a
+	// snapshot of the slice header without further locking.
+	mu      sync.RWMutex
+	dataEnd int64
+	seqs    []SeqMeta // oldest first; appends push back
+}
+
+// snapshotSeqs returns the current sequence list for lock-free reads.
+func (t *Table) snapshotSeqs() []SeqMeta {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.seqs
+}
+
+// Options configure table creation and opening.
+type Options struct {
+	// Cache, if non-nil, holds data blocks read from this table.
+	Cache *cache.Cache
+	// BitsPerKey sets Bloom density; 0 means the paper's 14.
+	BitsPerKey int
+	// Compression enables flate compression of data blocks.  The
+	// paper's experiments keep it off (Sec. 6.1); readers handle both
+	// forms transparently.
+	Compression bool
+}
+
+func (o Options) bits() int {
+	if o.BitsPerKey <= 0 {
+		return bloom.DefaultBitsPerKey
+	}
+	return o.BitsPerKey
+}
+
+// Create makes a new empty MSTable with the given fixed capacity and
+// numeric id (used as the block-cache identity).
+func Create(fs vfs.FS, name string, id uint64, capacity int64, opt Options) (*Table, error) {
+	if capacity < footerLen+block.TargetSize {
+		return nil, fmt.Errorf("table: capacity %d too small", capacity)
+	}
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{fs: fs, f: f, name: name, id: id, capacity: capacity,
+		cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression}
+	if err := t.writeMeta(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open reads an existing MSTable's footer and metadata.
+func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Size()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if size < footerLen {
+		f.Close()
+		return nil, fmt.Errorf("%w: file %s shorter than footer", ErrCorrupt, name)
+	}
+	var foot [footerLen]byte
+	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint64(foot[0:8]) != magic {
+		f.Close()
+		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, name)
+	}
+	if binary.LittleEndian.Uint32(foot[8:12]) != version {
+		f.Close()
+		return nil, fmt.Errorf("%w: unknown version in %s", ErrCorrupt, name)
+	}
+	wantCRC := binary.LittleEndian.Uint32(foot[36:40])
+	if crc32.Checksum(foot[:36], castagnoli) != wantCRC {
+		f.Close()
+		return nil, fmt.Errorf("%w: footer checksum in %s", ErrCorrupt, name)
+	}
+	seqCount := int(binary.LittleEndian.Uint32(foot[12:16]))
+	metaOff := int64(binary.LittleEndian.Uint64(foot[16:24]))
+	metaLen := int64(binary.LittleEndian.Uint64(foot[24:32]))
+
+	t := &Table{fs: fs, f: f, name: name, id: id, capacity: size,
+		cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression}
+	raw := make([]byte, metaLen)
+	if metaLen > 0 {
+		if _, err := f.ReadAt(raw, metaOff); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := t.parseMeta(raw, seqCount); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, s := range t.seqs {
+		if end := int64(s.DataOff + s.DataLen); end > t.dataEnd {
+			t.dataEnd = end
+		}
+	}
+	return t, nil
+}
+
+// writeMeta serializes all sequence metadata at the tail and rewrites
+// the footer.  Returns ErrNoSpace if metadata would collide with data.
+func (t *Table) writeMeta() error {
+	var buf []byte
+	for _, s := range t.seqs {
+		buf = binary.AppendUvarint(buf, s.Entries)
+		buf = binary.AppendUvarint(buf, s.DataOff)
+		buf = binary.AppendUvarint(buf, s.DataLen)
+		buf = appendBytes(buf, s.Smallest)
+		buf = appendBytes(buf, s.Largest)
+		buf = appendBytes(buf, s.Bloom)
+		buf = appendBytes(buf, s.RawIndex)
+	}
+	metaOff := t.capacity - footerLen - int64(len(buf))
+	if metaOff < t.dataEnd {
+		return ErrNoSpace
+	}
+	if len(buf) > 0 {
+		if _, err := t.f.WriteAt(buf, metaOff); err != nil {
+			return err
+		}
+	}
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[0:8], magic)
+	binary.LittleEndian.PutUint32(foot[8:12], version)
+	binary.LittleEndian.PutUint32(foot[12:16], uint32(len(t.seqs)))
+	binary.LittleEndian.PutUint64(foot[16:24], uint64(metaOff))
+	binary.LittleEndian.PutUint64(foot[24:32], uint64(len(buf)))
+	binary.LittleEndian.PutUint32(foot[32:36], 0) // reserved
+	binary.LittleEndian.PutUint32(foot[36:40], crc32.Checksum(foot[:36], castagnoli))
+	if _, err := t.f.WriteAt(foot[:], t.capacity-footerLen); err != nil {
+		return err
+	}
+	return nil
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(p []byte) ([]byte, []byte, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || uint64(len(p)-w) < n {
+		return nil, nil, ErrCorrupt
+	}
+	return p[w : w+int(n)], p[w+int(n):], nil
+}
+
+func (t *Table) parseMeta(raw []byte, seqCount int) error {
+	p := raw
+	for i := 0; i < seqCount; i++ {
+		var s SeqMeta
+		var w int
+		s.Entries, w = binary.Uvarint(p)
+		if w <= 0 {
+			return ErrCorrupt
+		}
+		p = p[w:]
+		s.DataOff, w = binary.Uvarint(p)
+		if w <= 0 {
+			return ErrCorrupt
+		}
+		p = p[w:]
+		s.DataLen, w = binary.Uvarint(p)
+		if w <= 0 {
+			return ErrCorrupt
+		}
+		p = p[w:]
+		var err error
+		if s.Smallest, p, err = readBytes(p); err != nil {
+			return err
+		}
+		if s.Largest, p, err = readBytes(p); err != nil {
+			return err
+		}
+		var bl []byte
+		if bl, p, err = readBytes(p); err != nil {
+			return err
+		}
+		s.Bloom = bloom.Filter(bl)
+		if s.RawIndex, p, err = readBytes(p); err != nil {
+			return err
+		}
+		t.seqs = append(t.seqs, s)
+	}
+	return nil
+}
+
+// Close releases the file handle.
+func (t *Table) Close() error { return t.f.Close() }
+
+// Name returns the file name the table was opened with.
+func (t *Table) Name() string { return t.name }
+
+// ID returns the table's cache identity.
+func (t *Table) ID() uint64 { return t.id }
+
+// Capacity returns the fixed file capacity.
+func (t *Table) Capacity() int64 { return t.capacity }
+
+// NumSeqs reports how many sorted sequences the table holds.
+func (t *Table) NumSeqs() int { return len(t.snapshotSeqs()) }
+
+// DataSize reports the bytes of record blocks (excludes hole/metadata).
+func (t *Table) DataSize() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.dataEnd
+}
+
+// MetaSize reports the serialized metadata size.
+func (t *Table) MetaSize() int64 {
+	var n int64
+	for _, s := range t.snapshotSeqs() {
+		n += int64(len(s.Smallest) + len(s.Largest) + len(s.Bloom) + len(s.RawIndex) + 24)
+	}
+	return n
+}
+
+// UsedBytes reports data + metadata + footer: the space the table would
+// occupy on a hole-punching filesystem.  Figure 10 sums this.
+func (t *Table) UsedBytes() int64 { return t.DataSize() + t.MetaSize() + footerLen }
+
+// Entries reports the total record count across sequences.
+func (t *Table) Entries() uint64 {
+	var n uint64
+	for _, s := range t.snapshotSeqs() {
+		n += s.Entries
+	}
+	return n
+}
+
+// SeqMetaAt returns sequence i's metadata (oldest first).
+func (t *Table) SeqMetaAt(i int) SeqMeta { return t.snapshotSeqs()[i] }
+
+// SeqDataLen returns the data bytes of sequence i.
+func (t *Table) SeqDataLen(i int) int64 { return int64(t.snapshotSeqs()[i].DataLen) }
+
+// UserRange returns the user-key range covered by all sequences.
+func (t *Table) UserRange() kv.Range {
+	var r kv.Range
+	for _, s := range t.snapshotSeqs() {
+		if s.Entries == 0 {
+			continue
+		}
+		r = r.Extend(kv.UserKey(s.Smallest))
+		r = r.Extend(kv.UserKey(s.Largest))
+	}
+	return r
+}
+
+// ResidentBytes reports how much of this table the block cache holds.
+func (t *Table) ResidentBytes() int64 {
+	if t.cache == nil {
+		return 0
+	}
+	return t.cache.ResidentBytes(t.id)
+}
+
+// EvictBlocks drops this table's blocks from the cache (on deletion).
+func (t *Table) EvictBlocks() {
+	if t.cache != nil {
+		t.cache.EvictTable(t.id)
+	}
+}
+
+// Each data block carries a trailer: one compression-type byte
+// followed by a CRC32-C over payload+type, verified on every uncached
+// read so a flipped bit surfaces as ErrCorrupt instead of silent wrong
+// results.  The paper's experiments run with compression off
+// (Sec. 6.1), which is the default here too.
+const blockTrailerLen = 5
+
+const (
+	blockRaw   = 0
+	blockFlate = 1
+)
+
+// verifyBlock checks a data block's CRC trailer and returns the
+// decoded (decompressed if needed) payload.
+func verifyBlock(raw []byte) ([]byte, error) {
+	if len(raw) < blockTrailerLen {
+		return nil, fmt.Errorf("%w: short block", ErrCorrupt)
+	}
+	body := raw[:len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return nil, fmt.Errorf("%w: block checksum mismatch", ErrCorrupt)
+	}
+	payload := body[:len(body)-1]
+	switch body[len(body)-1] {
+	case blockRaw:
+		return payload, nil
+	case blockFlate:
+		r := flate.NewReader(bytes.NewReader(payload))
+		out, err := io.ReadAll(r)
+		r.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown block compression %d", ErrCorrupt, body[len(body)-1])
+	}
+}
+
+// encodeBlock applies the trailer (and optional compression) to an
+// encoded block.
+func encodeBlock(enc []byte, compress bool) []byte {
+	typ := byte(blockRaw)
+	if compress {
+		var buf bytes.Buffer
+		w, _ := flate.NewWriter(&buf, flate.BestSpeed)
+		w.Write(enc)
+		w.Close()
+		if buf.Len() < len(enc) {
+			enc = buf.Bytes()
+			typ = blockFlate
+		}
+	}
+	enc = append(enc, typ)
+	return binary.LittleEndian.AppendUint32(enc, crc32.Checksum(enc, castagnoli))
+}
+
+func (t *Table) readBlock(off, length uint64) ([]byte, error) {
+	if t.cache != nil {
+		if b := t.cache.Get(t.id, off); b != nil {
+			return b, nil // cached blocks are stored verified
+		}
+	}
+	buf := make([]byte, length)
+	if _, err := t.f.ReadAt(buf, int64(off)); err != nil {
+		return nil, err
+	}
+	payload, err := verifyBlock(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w in %s @%d", err, t.name, off)
+	}
+	if t.cache != nil {
+		t.cache.Set(t.id, off, payload)
+	}
+	return payload, nil
+}
+
+// AppendResult reports what an append wrote.
+type AppendResult struct {
+	Entries uint64
+	// Bytes is the total bytes written: data blocks plus the rewritten
+	// metadata region and footer.  Engines attribute this to the
+	// destination level for write-amplification accounting.
+	Bytes int64
+	// More is true when AppendFrom stopped at its size limit with the
+	// input iterator still valid.
+	More bool
+}
+
+// Append writes all records produced by it (ascending internal keys) as
+// a new sorted sequence.  On ErrNoSpace the table's logical state is
+// unchanged and the caller should merge instead.
+func (t *Table) Append(it iterator.Iterator) (AppendResult, error) {
+	it.First()
+	return t.AppendFrom(it, 1<<62)
+}
+
+// AppendFrom writes records from an already-positioned iterator as one
+// new sequence, stopping once the sequence's data size exceeds limit
+// (always finishing the current user key, so all versions of a key stay
+// in one node).  The iterator is left positioned at the first unwritten
+// record; Result.More reports whether any remain.
+func (t *Table) AppendFrom(it iterator.Iterator, limit int64) (AppendResult, error) {
+	// On any failure, data blocks already written past the old dataEnd
+	// are garbage in the hole; the metadata still describes only the
+	// old sequences, so there is nothing to undo on disk.
+	w := &seqWriter{t: t, startOff: t.dataEnd}
+	var lastUser []byte
+	for ; it.Valid(); it.Next() {
+		u := kv.UserKey(it.Key())
+		if w.entries > 0 && w.off-w.startOff >= limit && !sameBytes(u, lastUser) {
+			break
+		}
+		if err := w.add(it.Key(), it.Value()); err != nil {
+			return AppendResult{}, err
+		}
+		lastUser = append(lastUser[:0], u...)
+	}
+	if err := it.Err(); err != nil {
+		return AppendResult{}, err
+	}
+	meta, err := w.finish()
+	if err != nil {
+		return AppendResult{}, err
+	}
+	if meta.Entries == 0 {
+		return AppendResult{More: it.Valid()}, nil
+	}
+	t.mu.Lock()
+	t.seqs = append(t.seqs, meta)
+	t.dataEnd = w.off
+	t.mu.Unlock()
+	if err := t.writeMeta(); err != nil {
+		t.mu.Lock()
+		t.seqs = t.seqs[:len(t.seqs)-1]
+		t.dataEnd = w.startOff
+		t.mu.Unlock()
+		return AppendResult{}, err
+	}
+	res := AppendResult{
+		Entries: meta.Entries,
+		Bytes:   int64(meta.DataLen) + t.MetaSize() + footerLen,
+		More:    it.Valid(),
+	}
+	return res, nil
+}
+
+// Sync flushes the table file.
+func (t *Table) Sync() error { return t.f.Sync() }
+
+// seqWriter streams one sorted sequence into the data region.
+type seqWriter struct {
+	t         *Table
+	startOff  int64
+	off       int64
+	bb        *block.Builder
+	ib        *block.Builder
+	bloomKeys [][]byte
+	lastUser  []byte
+	smallest  []byte
+	largest   []byte
+	lastKey   []byte
+	entries   uint64
+}
+
+func (w *seqWriter) add(ikey, val []byte) error {
+	if w.bb == nil {
+		w.bb = block.NewBuilder()
+		w.ib = block.NewBuilder()
+		w.off = w.startOff
+	}
+	if w.entries == 0 {
+		w.smallest = append([]byte(nil), ikey...)
+	}
+	w.lastKey = append(w.lastKey[:0], ikey...)
+	u := kv.UserKey(ikey)
+	if !sameBytes(u, w.lastUser) {
+		w.bloomKeys = append(w.bloomKeys, append([]byte(nil), u...))
+		w.lastUser = append(w.lastUser[:0], u...)
+	}
+	w.bb.Add(ikey, val)
+	w.entries++
+	if w.bb.Full() {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *seqWriter) flushBlock() error {
+	if w.bb.Empty() {
+		return nil
+	}
+	enc := encodeBlock(w.bb.Finish(), w.t.compress)
+	// Guard against colliding with the metadata region: leave room for
+	// the (rewritten) metadata of existing sequences plus this one.
+	reserve := w.t.MetaSize() + int64(w.ib.SizeEstimate()) + int64(len(w.bloomKeys)*2) + 4096 + footerLen
+	if w.off+int64(len(enc))+reserve > w.t.capacity {
+		return ErrNoSpace
+	}
+	if _, err := w.t.f.WriteAt(enc, w.off); err != nil {
+		return err
+	}
+	var hv []byte
+	hv = binary.AppendUvarint(hv, uint64(w.off))
+	hv = binary.AppendUvarint(hv, uint64(len(enc)))
+	w.ib.Add(w.lastKey, hv)
+	w.off += int64(len(enc))
+	return nil
+}
+
+func (w *seqWriter) finish() (SeqMeta, error) {
+	if w.entries == 0 {
+		return SeqMeta{}, nil
+	}
+	if err := w.flushBlock(); err != nil {
+		return SeqMeta{}, err
+	}
+	w.largest = append([]byte(nil), w.lastKey...)
+	return SeqMeta{
+		Entries:  w.entries,
+		DataOff:  uint64(w.startOff),
+		DataLen:  uint64(w.off - w.startOff),
+		Smallest: w.smallest,
+		Largest:  w.largest,
+		Bloom:    bloom.Build(w.bloomKeys, w.t.bitsKey),
+		RawIndex: w.ib.Finish(),
+	}, nil
+}
+
+func sameBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Get looks up the newest record for ukey visible at snapshot seq.
+// It searches sequences newest-first, consulting Bloom filters, and
+// stops at the first hit (Sec. 5.2).  The returned value aliases cache
+// or freshly-read memory and must be copied if retained.
+// found=false means no sequence holds any visible version of ukey.
+func (t *Table) Get(ukey []byte, snap kv.Seq) (val []byte, kind kv.Kind, seq kv.Seq, found bool, err error) {
+	target := kv.MakeInternalKey(ukey, snap, kv.KindSet)
+	seqs := t.snapshotSeqs()
+	for i := len(seqs) - 1; i >= 0; i-- {
+		s := &seqs[i]
+		if s.Entries == 0 || !s.Bloom.MayContain(ukey) {
+			continue
+		}
+		// Quick range rejection on user keys.
+		if kv.CompareUser(ukey, kv.UserKey(s.Smallest)) < 0 ||
+			kv.CompareUser(ukey, kv.UserKey(s.Largest)) > 0 {
+			continue
+		}
+		v, k, sq, ok, err := t.getInSeq(s, ukey, target)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if ok {
+			return v, k, sq, true, nil
+		}
+	}
+	return nil, 0, 0, false, nil
+}
+
+func (t *Table) getInSeq(s *SeqMeta, ukey, target []byte) ([]byte, kv.Kind, kv.Seq, bool, error) {
+	idx, err := block.NewReader(s.RawIndex, kv.CompareInternal)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	ii := idx.Iter()
+	ii.Seek(target)
+	if !ii.Valid() {
+		return nil, 0, 0, false, ii.Err()
+	}
+	off, n := binary.Uvarint(ii.Value())
+	if n <= 0 {
+		return nil, 0, 0, false, ErrCorrupt
+	}
+	length, n2 := binary.Uvarint(ii.Value()[n:])
+	if n2 <= 0 {
+		return nil, 0, 0, false, ErrCorrupt
+	}
+	data, err := t.readBlock(off, length)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	br, err := block.NewReader(data, kv.CompareInternal)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	bi := br.Iter()
+	bi.Seek(target)
+	if !bi.Valid() {
+		return nil, 0, 0, false, bi.Err()
+	}
+	gotUser, gotSeq, gotKind, ok := kv.ParseInternalKey(bi.Key())
+	if !ok {
+		return nil, 0, 0, false, ErrCorrupt
+	}
+	if !sameBytes(gotUser, ukey) {
+		return nil, 0, 0, false, nil
+	}
+	return bi.Value(), gotKind, gotSeq, true, nil
+}
+
+// SeqIter returns an iterator over sequence i (oldest = 0).
+func (t *Table) SeqIter(i int) iterator.Iterator {
+	return t.seqIterOf(t.snapshotSeqs(), i)
+}
+
+func (t *Table) seqIterOf(seqs []SeqMeta, i int) iterator.Iterator {
+	s := &seqs[i]
+	if s.Entries == 0 {
+		return iterator.Empty{}
+	}
+	idx, err := block.NewReader(s.RawIndex, kv.CompareInternal)
+	if err != nil {
+		return &errIter{err}
+	}
+	return &seqIter{t: t, bounds: *s, idx: idx.Iter()}
+}
+
+// NewIter returns an iterator merging every sequence, newest winning
+// nothing special (internal keys are unique); the ordering is plain
+// internal-key order as scans require.
+func (t *Table) NewIter() iterator.Iterator {
+	seqs := t.snapshotSeqs()
+	if len(seqs) == 0 {
+		return iterator.Empty{}
+	}
+	if len(seqs) == 1 {
+		return t.seqIterOf(seqs, 0)
+	}
+	kids := make([]iterator.Iterator, 0, len(seqs))
+	for i := len(seqs) - 1; i >= 0; i-- { // newest first for tie order
+		kids = append(kids, t.seqIterOf(seqs, i))
+	}
+	return iterator.NewMerging(kv.CompareInternal, kids...)
+}
+
+type errIter struct{ err error }
+
+func (e *errIter) First()        {}
+func (e *errIter) Seek([]byte)   {}
+func (e *errIter) Next()         {}
+func (e *errIter) Valid() bool   { return false }
+func (e *errIter) Key() []byte   { return nil }
+func (e *errIter) Value() []byte { return nil }
+func (e *errIter) Err() error    { return e.err }
+func (e *errIter) Close() error  { return nil }
+
+// readaheadSize is the sequential read-ahead window of sequence
+// iterators.  The paper's testbed runs with filesystem read-ahead
+// enabled (Sec. 6.1); without it, a merge that interleaves block reads
+// across a node's sequences would pay one disk seek per 4 KiB block,
+// which no real deployment does.
+const readaheadSize = 64 * 1024
+
+// seqIter chains the data blocks of one sequence via its index block.
+// Block fetches that continue sequentially from the previous fetch are
+// served through a read-ahead buffer.
+type seqIter struct {
+	t      *Table
+	bounds SeqMeta
+	idx    *block.Iter
+	cur    *block.Iter
+	err    error
+
+	ra       []byte
+	raStart  int64
+	fetchEnd int64 // end offset of the previous physical fetch
+	everRead bool
+}
+
+// fetchBlock returns the data block at [off, off+length), using the
+// cache, then the read-ahead buffer, then a physical read that extends
+// ahead when the access pattern is sequential.
+func (s *seqIter) fetchBlock(off, length uint64) ([]byte, error) {
+	t := s.t
+	if t.cache != nil {
+		if b := t.cache.Get(t.id, off); b != nil {
+			return b, nil
+		}
+	}
+	o, l := int64(off), int64(length)
+	if s.ra != nil && o >= s.raStart && o+l <= s.raStart+int64(len(s.ra)) {
+		payload, err := verifyBlock(s.ra[o-s.raStart : o-s.raStart+l])
+		if err != nil {
+			return nil, fmt.Errorf("%w in %s @%d", err, t.name, off)
+		}
+		if t.cache != nil {
+			t.cache.Set(t.id, off, append([]byte(nil), payload...))
+		}
+		return payload, nil
+	}
+	seqEnd := int64(s.bounds.DataOff + s.bounds.DataLen)
+	chunk := l
+	if s.everRead && o == s.fetchEnd {
+		// Sequential continuation: read ahead like the OS would.
+		if c := int64(readaheadSize); c > chunk {
+			chunk = c
+		}
+		if o+chunk > seqEnd {
+			chunk = seqEnd - o
+		}
+	}
+	buf := make([]byte, chunk)
+	if _, err := t.f.ReadAt(buf, o); err != nil {
+		return nil, err
+	}
+	s.everRead = true
+	s.fetchEnd = o + chunk
+	s.ra = buf
+	s.raStart = o
+	payload, err := verifyBlock(buf[:l])
+	if err != nil {
+		return nil, fmt.Errorf("%w in %s @%d", err, t.name, off)
+	}
+	if t.cache != nil {
+		t.cache.Set(t.id, off, append([]byte(nil), payload...))
+	}
+	return payload, nil
+}
+
+func (s *seqIter) loadBlock() bool {
+	if !s.idx.Valid() {
+		s.cur = nil
+		return false
+	}
+	v := s.idx.Value()
+	off, n := binary.Uvarint(v)
+	if n <= 0 {
+		s.err = ErrCorrupt
+		return false
+	}
+	length, n2 := binary.Uvarint(v[n:])
+	if n2 <= 0 {
+		s.err = ErrCorrupt
+		return false
+	}
+	data, err := s.fetchBlock(off, length)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	br, err := block.NewReader(data, kv.CompareInternal)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.cur = br.Iter()
+	return true
+}
+
+// First implements Iterator.
+func (s *seqIter) First() {
+	s.err = nil
+	s.idx.First()
+	if s.loadBlock() {
+		s.cur.First()
+		s.skipEmptyForward()
+	}
+}
+
+// Seek implements Iterator.
+func (s *seqIter) Seek(target []byte) {
+	s.err = nil
+	s.idx.Seek(target)
+	if s.loadBlock() {
+		s.cur.Seek(target)
+		s.skipEmptyForward()
+	} else {
+		s.cur = nil
+	}
+}
+
+// Next implements Iterator.
+func (s *seqIter) Next() {
+	if s.cur == nil || s.err != nil {
+		return
+	}
+	s.cur.Next()
+	s.skipEmptyForward()
+}
+
+// skipEmptyForward advances to the next non-exhausted block.
+func (s *seqIter) skipEmptyForward() {
+	for s.cur != nil && !s.cur.Valid() && s.err == nil {
+		if err := s.cur.Err(); err != nil {
+			s.err = err
+			return
+		}
+		s.idx.Next()
+		if !s.loadBlock() {
+			s.cur = nil
+			return
+		}
+		s.cur.First()
+	}
+}
+
+// Valid implements Iterator.
+func (s *seqIter) Valid() bool { return s.err == nil && s.cur != nil && s.cur.Valid() }
+
+// Key implements Iterator.
+func (s *seqIter) Key() []byte {
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.Key()
+}
+
+// Value implements Iterator.
+func (s *seqIter) Value() []byte {
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.Value()
+}
+
+// Err implements Iterator.
+func (s *seqIter) Err() error { return s.err }
+
+// Close implements Iterator.
+func (s *seqIter) Close() error { return nil }
+
+// Last implements iterator.ReverseIterator.
+func (e *errIter) Last() {}
+
+// Prev implements iterator.ReverseIterator.
+func (e *errIter) Prev() {}
+
+// SeekForPrev implements iterator.ReverseIterator.
+func (e *errIter) SeekForPrev([]byte) {}
+
+// Last implements iterator.ReverseIterator.
+func (s *seqIter) Last() {
+	s.err = nil
+	s.idx.Last()
+	if s.loadBlock() {
+		s.cur.Last()
+		s.skipEmptyBackward()
+	} else {
+		s.cur = nil
+	}
+}
+
+// Prev implements iterator.ReverseIterator.
+func (s *seqIter) Prev() {
+	if s.cur == nil || s.err != nil {
+		return
+	}
+	s.cur.Prev()
+	s.skipEmptyBackward()
+}
+
+// SeekForPrev implements iterator.ReverseIterator: position at the
+// last key <= target.
+func (s *seqIter) SeekForPrev(target []byte) {
+	s.err = nil
+	// Index entries carry each block's largest key, so Seek finds the
+	// first block whose range can contain target.
+	s.idx.Seek(target)
+	if !s.idx.Valid() {
+		// target is above every block: the answer is the last key.
+		s.Last()
+		return
+	}
+	if !s.loadBlock() {
+		s.cur = nil
+		return
+	}
+	s.cur.SeekForPrev(target)
+	s.skipEmptyBackward()
+}
+
+// skipEmptyBackward steps to the previous block while the current one
+// is exhausted.
+func (s *seqIter) skipEmptyBackward() {
+	for s.cur != nil && !s.cur.Valid() && s.err == nil {
+		if err := s.cur.Err(); err != nil {
+			s.err = err
+			return
+		}
+		s.idx.Prev()
+		if !s.loadBlock() {
+			s.cur = nil
+			return
+		}
+		s.cur.Last()
+	}
+}

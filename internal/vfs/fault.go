@@ -1,0 +1,173 @@
+package vfs
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error FaultFS raises when a scheduled fault fires.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// FaultFS wraps an FS and fails operations on demand, for exercising
+// the engines' error paths: write failures during compaction, torn
+// syncs, failed opens.  Faults are armed by operation kind with a
+// countdown — "fail the 3rd write from now" — and fire once unless
+// sticky.
+type FaultFS struct {
+	inner FS
+
+	mu     sync.Mutex
+	arm    map[FaultOp]*fault
+	sticky bool
+}
+
+// FaultOp selects which operation class a fault applies to.
+type FaultOp int
+
+// Operation classes that can fail.
+const (
+	FaultWrite FaultOp = iota
+	FaultRead
+	FaultSync
+	FaultCreate
+	FaultRemove
+)
+
+type fault struct {
+	after int // fire when counter reaches zero
+	hits  int
+}
+
+// NewFaultFS wraps fs with no faults armed.
+func NewFaultFS(fs FS) *FaultFS {
+	return &FaultFS{inner: fs, arm: make(map[FaultOp]*fault)}
+}
+
+// FailAfter arms op to fail after n more operations (n=0 fails the
+// next one).  Re-arming replaces the previous schedule.
+func (f *FaultFS) FailAfter(op FaultOp, n int) {
+	f.mu.Lock()
+	f.arm[op] = &fault{after: n}
+	f.mu.Unlock()
+}
+
+// SetSticky makes fired faults keep failing instead of disarming.
+func (f *FaultFS) SetSticky(on bool) {
+	f.mu.Lock()
+	f.sticky = on
+	f.mu.Unlock()
+}
+
+// Clear disarms all faults.
+func (f *FaultFS) Clear() {
+	f.mu.Lock()
+	f.arm = make(map[FaultOp]*fault)
+	f.mu.Unlock()
+}
+
+// Hits reports how many times op's fault has fired.
+func (f *FaultFS) Hits(op FaultOp) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if fa := f.arm[op]; fa != nil {
+		return fa.hits
+	}
+	return 0
+}
+
+// check decides whether the next operation of class op fails.
+func (f *FaultFS) check(op FaultOp) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fa := f.arm[op]
+	if fa == nil {
+		return nil
+	}
+	if fa.after > 0 {
+		fa.after--
+		return nil
+	}
+	fa.hits++
+	if !f.sticky {
+		delete(f.arm, op)
+	}
+	return ErrInjected
+}
+
+// Create implements FS.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.check(FaultCreate); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// Open implements FS.
+func (f *FaultFS) Open(name string) (File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.check(FaultRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(o, n string) error { return f.inner.Rename(o, n) }
+
+// List implements FS.
+func (f *FaultFS) List(dir string) ([]string, error) { return f.inner.List(dir) }
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// Exists implements FS.
+func (f *FaultFS) Exists(name string) bool { return f.inner.Exists(name) }
+
+type faultFile struct {
+	inner File
+	fs    *FaultFS
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(FaultRead); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(FaultWrite); err != nil {
+		return 0, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(FaultWrite); err != nil {
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.check(FaultSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error           { return f.inner.Close() }
+func (f *faultFile) Size() (int64, error)   { return f.inner.Size() }
+func (f *faultFile) Truncate(n int64) error { return f.inner.Truncate(n) }

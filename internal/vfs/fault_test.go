@@ -1,0 +1,87 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultFSWriteCountdown(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f, err := ffs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailAfter(FaultWrite, 2)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatal("write 1 should pass")
+	}
+	if _, err := f.WriteAt([]byte("b"), 10); err != nil {
+		t.Fatal("write 2 should pass")
+	}
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3 should fail, got %v", err)
+	}
+	// Non-sticky: next write passes again.
+	if _, err := f.Write([]byte("d")); err != nil {
+		t.Fatal("post-fault write should pass")
+	}
+	if ffs.Hits(FaultWrite) != 0 { // disarmed, map entry gone
+		t.Log("hits reset after disarm (expected)")
+	}
+}
+
+func TestFaultFSSticky(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	ffs.SetSticky(true)
+	ffs.FailAfter(FaultSync, 0)
+	f, _ := ffs.Create("x")
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d should fail", i)
+		}
+	}
+	if ffs.Hits(FaultSync) != 3 {
+		t.Fatalf("hits %d", ffs.Hits(FaultSync))
+	}
+	ffs.Clear()
+	if err := f.Sync(); err != nil {
+		t.Fatal("sync after clear should pass")
+	}
+}
+
+func TestFaultFSCreateAndRemove(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	ffs.FailAfter(FaultCreate, 0)
+	if _, err := ffs.Create("x"); !errors.Is(err, ErrInjected) {
+		t.Fatal("create should fail")
+	}
+	f, err := ffs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ffs.FailAfter(FaultRemove, 0)
+	if err := ffs.Remove("x"); !errors.Is(err, ErrInjected) {
+		t.Fatal("remove should fail")
+	}
+	if err := ffs.Remove("x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSReads(t *testing.T) {
+	ffs := NewFaultFS(NewMemFS())
+	f, _ := ffs.Create("x")
+	f.Write([]byte("hello"))
+	ffs.FailAfter(FaultRead, 0)
+	buf := make([]byte, 5)
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("read should fail")
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		t.Fatal("second read should pass")
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("got %q", buf)
+	}
+}

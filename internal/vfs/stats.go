@@ -1,0 +1,139 @@
+package vfs
+
+import (
+	"sync/atomic"
+)
+
+// IOStats accumulates raw device traffic.  The paper's amplification
+// metrics are ratios over these counters: write amplification is
+// BytesWritten (excluding the user log, which callers track separately)
+// divided by the bytes users inserted; read amplification is Seeks per
+// query in the out-of-RAM regime.
+type IOStats struct {
+	BytesWritten atomic.Int64
+	BytesRead    atomic.Int64
+	WriteOps     atomic.Int64
+	ReadOps      atomic.Int64
+	// Seeks counts positioned I/Os that were not sequential with the
+	// handle's previous operation.
+	Seeks atomic.Int64
+}
+
+// Snapshot returns a plain-struct copy of the counters.
+func (s *IOStats) Snapshot() IOSnapshot {
+	return IOSnapshot{
+		BytesWritten: s.BytesWritten.Load(),
+		BytesRead:    s.BytesRead.Load(),
+		WriteOps:     s.WriteOps.Load(),
+		ReadOps:      s.ReadOps.Load(),
+		Seeks:        s.Seeks.Load(),
+	}
+}
+
+// IOSnapshot is a point-in-time copy of IOStats.
+type IOSnapshot struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+	Seeks        int64
+}
+
+// Sub returns the delta s - o, counter by counter.
+func (s IOSnapshot) Sub(o IOSnapshot) IOSnapshot {
+	return IOSnapshot{
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		BytesRead:    s.BytesRead - o.BytesRead,
+		WriteOps:     s.WriteOps - o.WriteOps,
+		ReadOps:      s.ReadOps - o.ReadOps,
+		Seeks:        s.Seeks - o.Seeks,
+	}
+}
+
+// StatsFS wraps an FS and records traffic into an IOStats.
+type StatsFS struct {
+	inner FS
+	stats *IOStats
+}
+
+// NewStatsFS wraps fs; all handles opened through the wrapper feed st.
+func NewStatsFS(fs FS, st *IOStats) *StatsFS {
+	return &StatsFS{inner: fs, stats: st}
+}
+
+// Stats returns the wrapped counter set.
+func (s *StatsFS) Stats() *IOStats { return s.stats }
+
+// Create implements FS.
+func (s *StatsFS) Create(name string) (File, error) {
+	f, err := s.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &statsFile{inner: f, stats: s.stats, lastRead: -1, lastWrite: -1}, nil
+}
+
+// Open implements FS.
+func (s *StatsFS) Open(name string) (File, error) {
+	f, err := s.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &statsFile{inner: f, stats: s.stats, lastRead: -1, lastWrite: -1}, nil
+}
+
+// Remove implements FS.
+func (s *StatsFS) Remove(name string) error { return s.inner.Remove(name) }
+
+// Rename implements FS.
+func (s *StatsFS) Rename(o, n string) error { return s.inner.Rename(o, n) }
+
+// List implements FS.
+func (s *StatsFS) List(dir string) ([]string, error) { return s.inner.List(dir) }
+
+// MkdirAll implements FS.
+func (s *StatsFS) MkdirAll(dir string) error { return s.inner.MkdirAll(dir) }
+
+// Exists implements FS.
+func (s *StatsFS) Exists(name string) bool { return s.inner.Exists(name) }
+
+type statsFile struct {
+	inner     File
+	stats     *IOStats
+	lastRead  int64 // next offset that would continue the previous read
+	lastWrite int64
+}
+
+func (f *statsFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.ReadAt(p, off)
+	f.stats.BytesRead.Add(int64(n))
+	f.stats.ReadOps.Add(1)
+	if off != atomic.LoadInt64(&f.lastRead) {
+		f.stats.Seeks.Add(1)
+	}
+	atomic.StoreInt64(&f.lastRead, off+int64(n))
+	return n, err
+}
+
+func (f *statsFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.WriteAt(p, off)
+	f.stats.BytesWritten.Add(int64(n))
+	f.stats.WriteOps.Add(1)
+	if off != atomic.LoadInt64(&f.lastWrite) {
+		f.stats.Seeks.Add(1)
+	}
+	atomic.StoreInt64(&f.lastWrite, off+int64(n))
+	return n, err
+}
+
+func (f *statsFile) Write(p []byte) (int, error) {
+	n, err := f.inner.Write(p)
+	f.stats.BytesWritten.Add(int64(n))
+	f.stats.WriteOps.Add(1)
+	return n, err
+}
+
+func (f *statsFile) Close() error           { return f.inner.Close() }
+func (f *statsFile) Sync() error            { return f.inner.Sync() }
+func (f *statsFile) Size() (int64, error)   { return f.inner.Size() }
+func (f *statsFile) Truncate(n int64) error { return f.inner.Truncate(n) }

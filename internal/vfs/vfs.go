@@ -1,0 +1,429 @@
+// Package vfs abstracts the filesystem under IamDB and provides the
+// experiment substrate that replaces the paper's physical disks:
+//
+//   - MemFS: a concurrency-safe in-memory filesystem for tests and
+//     simulated experiments.
+//   - OSFS: a thin wrapper over the operating system.
+//   - Stats: a wrapper counting bytes/ops/seeks, used to measure write,
+//     read and space amplification exactly as the paper defines them.
+//   - Disk: a virtual-clock disk model charging seek latency and
+//     transfer time per I/O, with HDD and SSD profiles, so throughput
+//     *shape* (who wins, by what factor) is reproducible on any machine.
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned when a named file does not exist.
+var ErrNotFound = errors.New("vfs: file not found")
+
+// File is an open file handle.  Handles support both sequential appends
+// (WAL) and random positioned I/O (tables).
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer // sequential append at the current end
+	io.Closer
+	// Sync flushes buffered data to stable storage.
+	Sync() error
+	// Size reports the current file length.
+	Size() (int64, error)
+	// Truncate resizes the file.
+	Truncate(int64) error
+}
+
+// FS is the filesystem interface every engine runs against.
+type FS interface {
+	// Create makes (or truncates) a file and opens it read-write.
+	Create(name string) (File, error)
+	// Open opens an existing file read-write.
+	Open(name string) (File, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Rename atomically renames a file, replacing any destination.
+	Rename(oldname, newname string) error
+	// List returns the sorted base names of files under dir.
+	List(dir string) ([]string, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(dir string) error
+	// Exists reports whether the named file exists.
+	Exists(name string) bool
+}
+
+// ---------------------------------------------------------------------
+// In-memory filesystem
+
+// memPageSize is the extent granularity of in-memory files.  MSTables
+// are sparse — data grows from the front, metadata from the back, with
+// a hole between (see internal/table) — so memFile stores pages in a
+// map and never materializes the hole.
+const memPageSize = 16 * 1024
+
+type memFile struct {
+	mu    sync.RWMutex
+	size  int64
+	pages map[int64]*[memPageSize]byte
+}
+
+func newMemFile() *memFile {
+	return &memFile{pages: make(map[int64]*[memPageSize]byte)}
+}
+
+// readAtLocked copies [off, off+len(p)) into p, zero-filling holes.
+// Caller holds mu (read or write).
+func (f *memFile) readAtLocked(p []byte, off int64) (int, error) {
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > f.size-off {
+		n = int(f.size - off)
+	}
+	done := 0
+	for done < n {
+		pageIdx := (off + int64(done)) / memPageSize
+		pageOff := int((off + int64(done)) % memPageSize)
+		chunk := memPageSize - pageOff
+		if chunk > n-done {
+			chunk = n - done
+		}
+		if pg := f.pages[pageIdx]; pg != nil {
+			copy(p[done:done+chunk], pg[pageOff:pageOff+chunk])
+		} else {
+			for i := done; i < done+chunk; i++ {
+				p[i] = 0
+			}
+		}
+		done += chunk
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// writeAtLocked stores p at off, allocating pages as needed.  Caller
+// holds mu for writing.
+func (f *memFile) writeAtLocked(p []byte, off int64) {
+	done := 0
+	for done < len(p) {
+		pageIdx := (off + int64(done)) / memPageSize
+		pageOff := int((off + int64(done)) % memPageSize)
+		chunk := memPageSize - pageOff
+		if chunk > len(p)-done {
+			chunk = len(p) - done
+		}
+		pg := f.pages[pageIdx]
+		if pg == nil {
+			pg = new([memPageSize]byte)
+			f.pages[pageIdx] = pg
+		}
+		copy(pg[pageOff:pageOff+chunk], p[done:done+chunk])
+		done += chunk
+	}
+	if end := off + int64(len(p)); end > f.size {
+		f.size = end
+	}
+}
+
+// MemFS is an in-memory FS safe for concurrent use.
+type MemFS struct {
+	mu    sync.RWMutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: map[string]bool{".": true, "/": true}}
+}
+
+func clean(name string) string { return filepath.Clean(name) }
+
+// Create implements FS.
+func (fs *MemFS) Create(name string) (File, error) {
+	name = clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := newMemFile()
+	fs.files[name] = f
+	return &memHandle{f: f}, nil
+}
+
+// Open implements FS.
+func (fs *MemFS) Open(name string) (File, error) {
+	name = clean(name)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: ErrNotFound}
+	}
+	return &memHandle{f: f, pos: -1}, nil
+}
+
+// Remove implements FS.
+func (fs *MemFS) Remove(name string) error {
+	name = clean(name)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: ErrNotFound}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// Rename implements FS.
+func (fs *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = clean(oldname), clean(newname)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: ErrNotFound}
+	}
+	fs.files[newname] = f
+	delete(fs.files, oldname)
+	return nil
+}
+
+// List implements FS.
+func (fs *MemFS) List(dir string) ([]string, error) {
+	dir = clean(dir)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var names []string
+	prefix := dir + string(filepath.Separator)
+	if dir == "." || dir == "/" {
+		prefix = ""
+	}
+	for name := range fs.files {
+		if strings.HasPrefix(name, prefix) {
+			rest := strings.TrimPrefix(name, prefix)
+			if !strings.Contains(rest, string(filepath.Separator)) {
+				names = append(names, rest)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (fs *MemFS) MkdirAll(dir string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.dirs[clean(dir)] = true
+	return nil
+}
+
+// Exists implements FS.
+func (fs *MemFS) Exists(name string) bool {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[clean(name)]
+	return ok
+}
+
+// TotalBytes reports the sum of all logical file sizes.
+func (fs *MemFS) TotalBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		f.mu.RLock()
+		n += f.size
+		f.mu.RUnlock()
+	}
+	return n
+}
+
+// AllocatedBytes reports the bytes actually materialized (holes are
+// free), mirroring what a hole-punching filesystem would charge.
+func (fs *MemFS) AllocatedBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for _, f := range fs.files {
+		f.mu.RLock()
+		n += int64(len(f.pages)) * memPageSize
+		f.mu.RUnlock()
+	}
+	return n
+}
+
+type memHandle struct {
+	f   *memFile
+	mu  sync.Mutex
+	pos int64 // sequential-write position; -1 means "end of file"
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return h.f.readAtLocked(p, off)
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	h.f.writeAtLocked(p, off)
+	return len(p), nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.f.mu.Lock()
+	if h.pos < 0 {
+		h.pos = h.f.size
+	}
+	h.f.writeAtLocked(p, h.pos)
+	h.f.mu.Unlock()
+	h.pos += int64(len(p))
+	return len(p), nil
+}
+
+func (h *memHandle) Close() error { return nil }
+func (h *memHandle) Sync() error  { return nil }
+
+func (h *memHandle) Size() (int64, error) {
+	h.f.mu.RLock()
+	defer h.f.mu.RUnlock()
+	return h.f.size, nil
+}
+
+func (h *memHandle) Truncate(n int64) error {
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if n < h.f.size {
+		// Drop pages entirely past the new end and zero the partial
+		// tail page so regrowth reads zeros.
+		lastPage := (n + memPageSize - 1) / memPageSize
+		for idx := range h.f.pages {
+			if idx >= lastPage {
+				delete(h.f.pages, idx)
+			}
+		}
+		if rem := n % memPageSize; rem != 0 {
+			if pg := h.f.pages[n/memPageSize]; pg != nil {
+				for i := rem; i < memPageSize; i++ {
+					pg[i] = 0
+				}
+			}
+		}
+	}
+	h.f.size = n
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// OS filesystem
+
+// OSFS adapts the operating-system filesystem to FS.
+type OSFS struct{}
+
+// NewOSFS returns the operating-system filesystem.
+func NewOSFS() OSFS { return OSFS{} }
+
+// osFile adapts *os.File.  Sequential Write appends at a tracked end
+// position via WriteAt, because opening with O_APPEND would forbid the
+// positioned writes tables and manifests rely on.
+type osFile struct {
+	*os.File
+	mu  sync.Mutex
+	end int64
+}
+
+func (f *osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (f *osFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.WriteAt(p, f.end)
+	f.end += int64(n)
+	return n, err
+}
+
+func (f *osFile) Truncate(n int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.File.Truncate(n); err != nil {
+		return err
+	}
+	if f.end > n {
+		f.end = n
+	}
+	return nil
+}
+
+// Create implements FS.
+func (OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &osFile{File: f}, nil
+}
+
+// Open implements FS.
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &os.PathError{Op: "open", Path: name, Err: ErrNotFound}
+		}
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &osFile{File: f, end: st.Size()}, nil
+}
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// List implements FS.
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Exists implements FS.
+func (OSFS) Exists(name string) bool {
+	_, err := os.Stat(name)
+	return err == nil
+}

@@ -1,0 +1,236 @@
+// Package wal implements the write-ahead log used for crash recovery,
+// in the LevelDB log format the paper's IamDB inherits: the file is a
+// sequence of 32 KiB blocks, and each user record is stored as one or
+// more fragments, each carrying a CRC, so a torn tail after a crash is
+// detected and discarded rather than misread.
+//
+//	fragment := checksum(4, little-endian CRC32-C of type+payload)
+//	            length(2, little-endian)
+//	            type(1: full, first, middle, last)
+//	            payload(length bytes)
+//
+// A fragment never spans a block boundary; a block tail shorter than the
+// 7-byte header is zero-padded.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"iamdb/internal/vfs"
+)
+
+// BlockSize is the log block size.
+const BlockSize = 32 * 1024
+
+const headerSize = 7
+
+const (
+	typeFull   = 1
+	typeFirst  = 2
+	typeMiddle = 3
+	typeLast   = 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a malformed or torn log record.  Readers surface it
+// only through Recover's count of dropped bytes; Next treats a corrupt
+// tail as a clean end of log, matching LevelDB's default recovery.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Writer appends records to a log file.
+type Writer struct {
+	f         vfs.File
+	blockOff  int // bytes used in the current block
+	buf       []byte
+	syncEvery bool
+}
+
+// NewWriter starts a log at the beginning of f.
+func NewWriter(f vfs.File) *Writer {
+	return &Writer{f: f, buf: make([]byte, 0, BlockSize)}
+}
+
+// SetSync makes every Append durable before returning.
+func (w *Writer) SetSync(on bool) { w.syncEvery = on }
+
+// Append writes one record, fragmenting across blocks as needed.
+func (w *Writer) Append(rec []byte) error {
+	first := true
+	for {
+		avail := BlockSize - w.blockOff
+		if avail < headerSize {
+			// Zero-fill the tail and move to a fresh block.
+			if avail > 0 {
+				if _, err := w.f.Write(make([]byte, avail)); err != nil {
+					return err
+				}
+			}
+			w.blockOff = 0
+			avail = BlockSize
+		}
+		frag := rec
+		if len(frag) > avail-headerSize {
+			frag = rec[:avail-headerSize]
+		}
+		rec = rec[len(frag):]
+		last := len(rec) == 0
+
+		var typ byte
+		switch {
+		case first && last:
+			typ = typeFull
+		case first:
+			typ = typeFirst
+		case last:
+			typ = typeLast
+		default:
+			typ = typeMiddle
+		}
+
+		w.buf = w.buf[:0]
+		var hdr [headerSize]byte
+		crc := crc32.Checksum(append([]byte{typ}, frag...), castagnoli)
+		binary.LittleEndian.PutUint32(hdr[0:4], crc)
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(frag)))
+		hdr[6] = typ
+		w.buf = append(w.buf, hdr[:]...)
+		w.buf = append(w.buf, frag...)
+		if _, err := w.f.Write(w.buf); err != nil {
+			return err
+		}
+		w.blockOff += headerSize + len(frag)
+
+		if last {
+			if w.syncEvery {
+				return w.f.Sync()
+			}
+			return nil
+		}
+		first = false
+	}
+}
+
+// Sync flushes the log to stable storage.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Reader replays records from a log file.
+type Reader struct {
+	f        vfs.File
+	off      int64
+	blockOff int
+	block    [BlockSize]byte
+	blockLen int
+	// Dropped counts bytes skipped over corruption.
+	Dropped int64
+}
+
+// NewReader reads the log in f from the start.
+func NewReader(f vfs.File) *Reader { return &Reader{f: f} }
+
+func (r *Reader) refill() error {
+	n, err := r.f.ReadAt(r.block[:], r.off)
+	r.blockLen = n
+	r.blockOff = 0
+	r.off += int64(n)
+	if n == 0 {
+		if err == nil || err == io.EOF {
+			return io.EOF
+		}
+		return err
+	}
+	return nil
+}
+
+// Next returns the next complete record, or io.EOF at the end of the
+// log.  Corruption at the tail (torn write) ends iteration; corruption
+// followed by further valid blocks is skipped with Dropped advanced.
+func (r *Reader) Next() ([]byte, error) {
+	var rec []byte
+	inFragmented := false
+	for {
+		if r.blockOff+headerSize > r.blockLen {
+			// Skip block padding.
+			if err := r.refill(); err != nil {
+				if inFragmented {
+					r.Dropped += int64(len(rec))
+				}
+				return nil, io.EOF
+			}
+		}
+		hdr := r.block[r.blockOff : r.blockOff+headerSize]
+		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		typ := hdr[6]
+		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+
+		if typ == 0 && length == 0 && wantCRC == 0 {
+			// Zero padding: rest of this block is empty.
+			r.blockOff = r.blockLen
+			continue
+		}
+		if r.blockOff+headerSize+length > r.blockLen || typ < typeFull || typ > typeLast {
+			// Torn or garbage fragment: drop the rest of the block.
+			r.Dropped += int64(r.blockLen - r.blockOff)
+			r.blockOff = r.blockLen
+			rec, inFragmented = nil, false
+			continue
+		}
+		payload := r.block[r.blockOff+headerSize : r.blockOff+headerSize+length]
+		crc := crc32.Checksum(append([]byte{typ}, payload...), castagnoli)
+		if crc != wantCRC {
+			r.Dropped += int64(headerSize + length)
+			r.blockOff = r.blockLen
+			rec, inFragmented = nil, false
+			continue
+		}
+		r.blockOff += headerSize + length
+
+		switch typ {
+		case typeFull:
+			if inFragmented {
+				r.Dropped += int64(len(rec))
+			}
+			return append([]byte(nil), payload...), nil
+		case typeFirst:
+			if inFragmented {
+				r.Dropped += int64(len(rec))
+			}
+			rec = append(rec[:0], payload...)
+			inFragmented = true
+		case typeMiddle:
+			if !inFragmented {
+				r.Dropped += int64(length)
+				continue
+			}
+			rec = append(rec, payload...)
+		case typeLast:
+			if !inFragmented {
+				r.Dropped += int64(length)
+				continue
+			}
+			return append(rec, payload...), nil
+		}
+	}
+}
+
+// ReplayAll reads every intact record, invoking fn for each.  It stops
+// cleanly at the first torn tail.
+func ReplayAll(f vfs.File, fn func(rec []byte) error) (dropped int64, err error) {
+	r := NewReader(f)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return r.Dropped, nil
+		}
+		if err != nil {
+			return r.Dropped, err
+		}
+		if err := fn(rec); err != nil {
+			return r.Dropped, fmt.Errorf("wal replay: %w", err)
+		}
+	}
+}

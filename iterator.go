@@ -1,0 +1,128 @@
+package iamdb
+
+import (
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+)
+
+// Iterator walks live user keys in ascending order at a fixed snapshot,
+// hiding MVCC versions and tombstones.  Usage:
+//
+//	it := db.NewIterator()
+//	defer it.Close()
+//	for it.First(); it.Valid(); it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//
+// Key and Value return copies safe to retain.
+type Iterator struct {
+	in       iterator.Iterator
+	snap     kv.Seq
+	key      []byte
+	val      []byte
+	valid    bool
+	err      error
+	backward bool
+}
+
+// NewIterator returns an iterator over the DB at the current sequence
+// number.  A scan merges both memtables and, per level, every sequence
+// of at most one node (Sec. 5.2).
+func (db *DB) NewIterator() *Iterator {
+	db.mu.Lock()
+	snap := db.seq
+	kids := []iterator.Iterator{db.mem.NewIter()}
+	if db.imm != nil {
+		kids = append(kids, db.imm.NewIter())
+	}
+	db.mu.Unlock()
+	kids = append(kids, db.eng.NewIter())
+	return &Iterator{
+		in:   iterator.NewMerging(kv.CompareInternal, kids...),
+		snap: snap,
+	}
+}
+
+// First positions at the smallest live key.
+func (it *Iterator) First() {
+	it.backward = false
+	it.in.First()
+	it.advance(nil)
+}
+
+// Seek positions at the first live key >= ukey.
+func (it *Iterator) Seek(ukey []byte) {
+	it.backward = false
+	it.in.Seek(kv.MakeInternalKey(ukey, it.snap, kv.KindSet))
+	it.advance(nil)
+}
+
+// Next advances past the current key to the next live key.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	if it.backward {
+		// Direction switch: the inner iterator rests before the
+		// emitted key; jump to the first record past all its versions.
+		it.backward = false
+		it.in.Seek(kv.MakeInternalKey(it.key, 0, kv.KindDelete))
+		it.advance(it.key)
+		return
+	}
+	prev := it.key
+	it.in.Next()
+	it.advance(prev)
+}
+
+// advance finds the next visible, live user key, skipping versions
+// above the snapshot, shadowed versions, tombstones, and skipKey.
+func (it *Iterator) advance(skipKey []byte) {
+	it.valid = false
+	var shadowed []byte // user key whose newest visible version was consumed
+	if skipKey != nil {
+		shadowed = append([]byte(nil), skipKey...)
+	}
+	for it.in.Valid() {
+		u, seq, kind, ok := kv.ParseInternalKey(it.in.Key())
+		if !ok {
+			it.err = errBadBatch
+			return
+		}
+		if seq > it.snap {
+			it.in.Next()
+			continue
+		}
+		if shadowed != nil && kv.CompareUser(u, shadowed) == 0 {
+			it.in.Next()
+			continue
+		}
+		if kind == kv.KindDelete {
+			shadowed = append(shadowed[:0], u...)
+			it.in.Next()
+			continue
+		}
+		it.key = append(it.key[:0], u...)
+		it.val = append(it.val[:0], it.in.Value()...)
+		it.valid = true
+		return
+	}
+	if err := it.in.Err(); err != nil {
+		it.err = err
+	}
+}
+
+// Valid reports whether the iterator is positioned at a live entry.
+func (it *Iterator) Valid() bool { return it.valid && it.err == nil }
+
+// Key returns the current user key.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Err reports the first error encountered.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's resources.
+func (it *Iterator) Close() error { return it.in.Close() }

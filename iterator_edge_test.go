@@ -1,0 +1,170 @@
+package iamdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"iamdb/internal/vfs"
+)
+
+func TestIteratorEdgeSemantics(t *testing.T) {
+	db := openSmall(t, IAM)
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i*2)), []byte("v"))
+	}
+
+	it := db.NewIterator()
+	defer it.Close()
+
+	// Next before positioning is a no-op.
+	it.Next()
+	if it.Valid() {
+		t.Fatal("Next before First should not validate")
+	}
+
+	// Seek past the end invalidates; Next afterwards stays invalid.
+	it.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Fatal("seek past end")
+	}
+	it.Next()
+	if it.Valid() {
+		t.Fatal("next after exhaustion")
+	}
+
+	// Re-seek backwards revives the iterator.
+	it.Seek([]byte("k100"))
+	if !it.Valid() || string(it.Key()) != "k100" {
+		t.Fatalf("re-seek: %q valid=%v", it.Key(), it.Valid())
+	}
+
+	// First after use returns to the start.
+	it.First()
+	if !it.Valid() || string(it.Key()) != "k000" {
+		t.Fatalf("first: %q", it.Key())
+	}
+
+	// Key/Value return copies: mutating them must not corrupt iteration.
+	k, v := it.Key(), it.Value()
+	if len(k) > 0 {
+		k[0] = 'X'
+	}
+	if len(v) > 0 {
+		v[0] = 'X'
+	}
+	it.Next()
+	it.First()
+	if string(it.Key()) != "k000" {
+		t.Fatal("caller mutation corrupted the iterator")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+
+	// Walk to exhaustion: exactly 100 keys.
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("walked %d", n)
+	}
+}
+
+func TestIteratorSeesConsistentSnapshotDuringWrites(t *testing.T) {
+	db := openSmall(t, LSA)
+	defer db.Close()
+	for i := 0; i < 2000; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("before"))
+	}
+	it := db.NewIterator() // pinned at this sequence number
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("after"))
+		}
+	}()
+	// Iterate while the overwrite storm runs: every value must be the
+	// pre-iterator one.
+	n := 0
+	for it.First(); it.Valid(); it.Next() {
+		if string(it.Value()) != "before" {
+			t.Fatalf("iterator leaked post-snapshot write at %s", it.Key())
+		}
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	wg.Wait()
+	if n != 2000 {
+		t.Fatalf("iterated %d want 2000", n)
+	}
+	// And fresh reads see the new values.
+	if v, _ := db.Get([]byte("k00000")); string(v) != "after" {
+		t.Fatalf("current read got %q", v)
+	}
+}
+
+func TestSyncWritesOption(t *testing.T) {
+	fs := vfs.NewMemFS()
+	opts := smallOpts(IAM, fs)
+	opts.SyncWrites = true
+	db, err := Open("db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 200; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := db.Get([]byte("k199")); err != nil || string(v) != "v" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+}
+
+func TestManySnapshotsUnderChurn(t *testing.T) {
+	db := openSmall(t, IAM)
+	defer db.Close()
+	var snaps []*Snapshot
+	var views []map[string]string
+	cur := map[string]string{}
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 400; i++ {
+			k, v := fmt.Sprintf("k%04d", i), fmt.Sprintf("r%d", round)
+			db.Put([]byte(k), []byte(v))
+			cur[k] = v
+		}
+		snaps = append(snaps, db.GetSnapshot())
+		view := make(map[string]string, len(cur))
+		for k, v := range cur {
+			view[k] = v
+		}
+		views = append(views, view)
+	}
+	// Every snapshot still sees its own round.
+	for i, s := range snaps {
+		for _, probe := range []string{"k0000", "k0200", "k0399"} {
+			v, err := s.Get([]byte(probe))
+			if err != nil || string(v) != views[i][probe] {
+				t.Fatalf("snap %d %s = %q (%v) want %q", i, probe, v, err, views[i][probe])
+			}
+		}
+	}
+	for _, s := range snaps {
+		s.Release()
+	}
+	// After releasing all snapshots, compaction may reclaim; current
+	// reads still give the final round.
+	db.CompactAll()
+	if v, _ := db.Get([]byte("k0123")); string(v) != "r7" {
+		t.Fatalf("final read %q", v)
+	}
+}

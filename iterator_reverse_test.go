@@ -1,0 +1,249 @@
+package iamdb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestReverseIterationBasics(t *testing.T) {
+	db := openSmall(t, IAM)
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i*2)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	it := db.NewIterator()
+	defer it.Close()
+
+	it.Last()
+	if !it.Valid() || string(it.Key()) != "k0998" {
+		t.Fatalf("last: %q", it.Key())
+	}
+	if string(it.Value()) != "v499" {
+		t.Fatalf("last value: %q", it.Value())
+	}
+	for i := 498; i >= 0; i-- {
+		it.Prev()
+		want := fmt.Sprintf("k%04d", i*2)
+		if !it.Valid() || string(it.Key()) != want {
+			t.Fatalf("prev at %d: %q want %s", i, it.Key(), want)
+		}
+	}
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("prev past front")
+	}
+
+	it.SeekForPrev([]byte("k0101"))
+	if !it.Valid() || string(it.Key()) != "k0100" {
+		t.Fatalf("seekforprev between: %q", it.Key())
+	}
+	it.SeekForPrev([]byte("k0100"))
+	if !it.Valid() || string(it.Key()) != "k0100" {
+		t.Fatalf("seekforprev exact: %q", it.Key())
+	}
+	it.SeekForPrev([]byte("zzz"))
+	if !it.Valid() || string(it.Key()) != "k0998" {
+		t.Fatalf("seekforprev past end: %q", it.Key())
+	}
+	it.SeekForPrev([]byte("a"))
+	if it.Valid() {
+		t.Fatal("seekforprev before all")
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+}
+
+func TestReverseSkipsTombstonesAndVersions(t *testing.T) {
+	db := openSmall(t, LSA)
+	defer db.Close()
+	// Multiple versions; some keys deleted; deletes of absent keys.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 200; i++ {
+			db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("r%d", round)))
+		}
+	}
+	for i := 50; i < 100; i++ {
+		db.Delete([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	db.Delete([]byte("zz-never-existed"))
+
+	it := db.NewIterator()
+	defer it.Close()
+	var got []string
+	for it.Last(); it.Valid(); it.Prev() {
+		if string(it.Value()) != "r3" {
+			t.Fatalf("stale version at %s: %q", it.Key(), it.Value())
+		}
+		got = append(got, string(it.Key()))
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(got) != 150 {
+		t.Fatalf("reverse scan saw %d keys want 150", len(got))
+	}
+	// Descending, and no deleted keys.
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Fatal("not descending")
+		}
+	}
+	for _, k := range got {
+		if k >= "k050" && k < "k100" {
+			t.Fatalf("deleted key %s visible", k)
+		}
+	}
+}
+
+func TestReverseDirectionSwitches(t *testing.T) {
+	db := openSmall(t, IAM)
+	defer db.Close()
+	keys := []string{"a", "c", "e", "g", "i"}
+	for _, k := range keys {
+		db.Put([]byte(k), []byte("v"))
+	}
+	it := db.NewIterator()
+	defer it.Close()
+
+	it.Seek([]byte("e"))
+	it.Prev() // forward -> backward
+	if string(it.Key()) != "c" {
+		t.Fatalf("prev after seek: %q", it.Key())
+	}
+	it.Next() // backward -> forward
+	if string(it.Key()) != "e" {
+		t.Fatalf("next after prev: %q", it.Key())
+	}
+	it.Next()
+	if string(it.Key()) != "g" {
+		t.Fatalf("next: %q", it.Key())
+	}
+	it.Prev()
+	it.Prev()
+	if string(it.Key()) != "c" {
+		t.Fatalf("double prev: %q", it.Key())
+	}
+}
+
+func TestReverseModelCheck(t *testing.T) {
+	for _, e := range allEngines {
+		t.Run(e.String(), func(t *testing.T) {
+			db := openSmall(t, e)
+			defer db.Close()
+			rng := rand.New(rand.NewSource(31 + int64(e)))
+			oracle := map[string]string{}
+			for i := 0; i < 6000; i++ {
+				k := fmt.Sprintf("key%04d", rng.Intn(1500))
+				if rng.Intn(5) == 0 {
+					db.Delete([]byte(k))
+					delete(oracle, k)
+				} else {
+					v := fmt.Sprintf("v%d", i)
+					db.Put([]byte(k), []byte(v))
+					oracle[k] = v
+				}
+			}
+			sorted := make([]string, 0, len(oracle))
+			for k := range oracle {
+				sorted = append(sorted, k)
+			}
+			sort.Strings(sorted)
+
+			it := db.NewIterator()
+			defer it.Close()
+
+			// Full reverse sweep matches the oracle exactly.
+			i := len(sorted)
+			for it.Last(); it.Valid(); it.Prev() {
+				i--
+				if i < 0 {
+					t.Fatalf("extra key %q", it.Key())
+				}
+				if string(it.Key()) != sorted[i] || string(it.Value()) != oracle[sorted[i]] {
+					t.Fatalf("at %d: %q=%q want %s=%s",
+						i, it.Key(), it.Value(), sorted[i], oracle[sorted[i]])
+				}
+			}
+			if it.Err() != nil {
+				t.Fatal(it.Err())
+			}
+			if i != 0 {
+				t.Fatalf("reverse sweep stopped %d early", i)
+			}
+
+			// Random zig-zag against the sorted oracle.
+			pos := len(sorted) / 2
+			it.Seek([]byte(sorted[pos]))
+			for step := 0; step < 400; step++ {
+				if rng.Intn(2) == 0 {
+					it.Next()
+					pos++
+				} else {
+					it.Prev()
+					pos--
+				}
+				if pos < 0 || pos >= len(sorted) {
+					if it.Valid() {
+						t.Fatalf("step %d: valid outside range at %q", step, it.Key())
+					}
+					break
+				}
+				if !it.Valid() || string(it.Key()) != sorted[pos] {
+					t.Fatalf("step %d: %q want %s", step, it.Key(), sorted[pos])
+				}
+			}
+
+			// SeekForPrev on random probes.
+			for probe := 0; probe < 200; probe++ {
+				target := fmt.Sprintf("key%04d", rng.Intn(1600))
+				it.SeekForPrev([]byte(target))
+				idx := sort.SearchStrings(sorted, target)
+				if idx < len(sorted) && sorted[idx] == target {
+					// exact
+				} else {
+					idx--
+				}
+				if idx < 0 {
+					if it.Valid() {
+						t.Fatalf("seekforprev %s: valid at %q want invalid", target, it.Key())
+					}
+					continue
+				}
+				if !it.Valid() || string(it.Key()) != sorted[idx] {
+					t.Fatalf("seekforprev %s: %q want %s", target, it.Key(), sorted[idx])
+				}
+			}
+		})
+	}
+}
+
+func TestReverseWithSnapshot(t *testing.T) {
+	db := openSmall(t, IAM)
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("old"))
+	}
+	snap := db.GetSnapshot()
+	defer snap.Release()
+	for i := 0; i < 300; i += 2 {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("new"))
+	}
+	for i := 100; i < 150; i++ {
+		db.Delete([]byte(fmt.Sprintf("k%03d", i)))
+	}
+	it := snap.NewIterator()
+	defer it.Close()
+	n := 0
+	for it.Last(); it.Valid(); it.Prev() {
+		if string(it.Value()) != "old" {
+			t.Fatalf("snapshot reverse saw new value at %s", it.Key())
+		}
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("snapshot reverse saw %d keys want 300", n)
+	}
+}

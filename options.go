@@ -1,0 +1,128 @@
+package iamdb
+
+import (
+	"iamdb/internal/vfs"
+)
+
+// EngineKind selects the storage tree backing a DB.
+type EngineKind int
+
+const (
+	// IAM is the paper's Integrated Append/Merge-tree (the default):
+	// appends above the mixed level, merges below, tuned to memory.
+	IAM EngineKind = iota
+	// LSA is the Log-Structured Append-tree: compaction by appends,
+	// minimal merges (lowest write amplification, higher scan/space
+	// cost).
+	LSA
+	// LevelDB is the overflow-tolerant leveled-LSM baseline profile.
+	LevelDB
+	// RocksDB is the strict, stall-controlled leveled-LSM baseline
+	// profile.
+	RocksDB
+)
+
+func (e EngineKind) String() string {
+	switch e {
+	case IAM:
+		return "IAM"
+	case LSA:
+		return "LSA"
+	case LevelDB:
+		return "LevelDB"
+	case RocksDB:
+		return "RocksDB"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configure a DB.  The zero value gives the paper's defaults
+// at full scale; experiments scale sizes down proportionally.
+type Options struct {
+	// Engine picks the tree structure (default IAM).
+	Engine EngineKind
+
+	// FS is the filesystem; nil means the operating system.  Tests
+	// and the benchmark harness pass vfs.MemFS or vfs.Disk wrappers.
+	FS vfs.FS
+
+	// MemtableSize is the memtable capacity threshold Ct (default
+	// 128 MiB, Sec. 6.1).  Tree engines reuse it as the node capacity.
+	MemtableSize int64
+
+	// CacheSize is the block-cache capacity modelling available RAM
+	// (default 64 MiB at library scale).
+	CacheSize int64
+
+	// MemBudget is IAM's memory budget M for Eq. (2); 0 means the
+	// cache size.
+	MemBudget int64
+
+	// Fanout is t (default 10).
+	Fanout int
+
+	// K caps sequences per node in IAM's mixed level (default 3).
+	K int
+
+	// FixedM pins IAM's mixed level for ablations; 0 = auto-tune.
+	FixedM int
+
+	// BitsPerKey sets Bloom filter density (default 14).
+	BitsPerKey int
+
+	// FileSize is the baselines' SSTable size (default MemtableSize/2,
+	// matching the paper's 64 MiB files against 128 MiB memtables).
+	FileSize int64
+
+	// LevelSizeBase is the baselines' L1 threshold (default
+	// 5*MemtableSize, matching the paper's 640 MiB against 128 MiB).
+	LevelSizeBase int64
+
+	// L0CompactTrigger is the baselines' L0 file trigger (default 4).
+	L0CompactTrigger int
+
+	// CompactionThreads is the number of background compaction
+	// goroutines (default 1; the paper's -4t configs use 4).
+	CompactionThreads int
+
+	// SyncWrites makes every write durable before returning.
+	SyncWrites bool
+
+	// Compression enables flate compression of on-disk data blocks.
+	// Off by default, matching the paper's experimental setup
+	// (Sec. 6.1: "data compression is turned off").
+	Compression bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.FS == nil {
+		out.FS = vfs.NewOSFS()
+	}
+	if out.MemtableSize == 0 {
+		out.MemtableSize = 128 << 20
+	}
+	if out.CacheSize == 0 {
+		out.CacheSize = 64 << 20
+	}
+	if out.Fanout == 0 {
+		out.Fanout = 10
+	}
+	if out.K == 0 {
+		out.K = 3
+	}
+	if out.FileSize == 0 {
+		out.FileSize = out.MemtableSize / 2
+	}
+	if out.LevelSizeBase == 0 {
+		out.LevelSizeBase = 5 * out.MemtableSize
+	}
+	if out.L0CompactTrigger == 0 {
+		out.L0CompactTrigger = 4
+	}
+	if out.CompactionThreads == 0 {
+		out.CompactionThreads = 1
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package iamdb
+
+import (
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+)
+
+// Snapshot is a consistent read-only view of the DB as of its creation.
+// Merges retain every record version a live snapshot can still see
+// (Sec. 5.2's deferred deletes respect this), so release snapshots
+// promptly to let compaction reclaim space.
+type Snapshot struct {
+	db       *DB
+	seq      kv.Seq
+	released bool
+}
+
+// GetSnapshot captures the current state.  Callers must Release it.
+func (db *DB) GetSnapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &Snapshot{db: db, seq: db.seq}
+	db.snaps[s.seq]++
+	db.updateHorizonLocked()
+	return s
+}
+
+// Release ends the snapshot's protection; idempotent.
+func (s *Snapshot) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	db := s.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.snaps[s.seq]--; db.snaps[s.seq] <= 0 {
+		delete(db.snaps, s.seq)
+	}
+	db.updateHorizonLocked()
+}
+
+// updateHorizonLocked pushes the oldest live snapshot (or "none") down
+// to the engine so merges know what they may drop.
+func (db *DB) updateHorizonLocked() {
+	h := kv.MaxSeq
+	for seq := range db.snaps {
+		if seq < h {
+			h = seq
+		}
+	}
+	db.eng.SetHorizon(h)
+}
+
+// Get reads a key as of the snapshot.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	if s.released {
+		return nil, ErrClosed
+	}
+	db := s.db
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	mem, imm := db.mem, db.imm
+	db.mu.Unlock()
+	return db.getAt(key, s.seq, mem, imm)
+}
+
+// NewIterator iterates the DB as of the snapshot.
+func (s *Snapshot) NewIterator() *Iterator {
+	db := s.db
+	db.mu.Lock()
+	kids := []iterator.Iterator{db.mem.NewIter()}
+	if db.imm != nil {
+		kids = append(kids, db.imm.NewIter())
+	}
+	db.mu.Unlock()
+	kids = append(kids, db.eng.NewIter())
+	return &Iterator{
+		in:   iterator.NewMerging(kv.CompareInternal, kids...),
+		snap: s.seq,
+	}
+}
