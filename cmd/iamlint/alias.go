@@ -1,0 +1,133 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// aliascheck flags code that retains a reference to the []byte
+// returned by an iterator's Key()/Value() (or any zero-arg method of
+// those names returning a byte slice).  Those slices alias buffers the
+// iterator reuses on the next advance; storing one in a struct field,
+// map, slice element, or channel without a copy corrupts data later.
+//
+// Local variables are fine — the common `k := it.Key()` then
+// `append(dst, k...)` idiom copies before the next Next().  The copy
+// idioms `append(dst, it.Key()...)` and `copy(dst, it.Key())` are
+// recognised and allowed.
+func aliascheck(p *pkg, emit func(diag)) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range s.Rhs {
+					call, ok := keyValueCall(p, rhs)
+					if !ok {
+						continue
+					}
+					// Parallel assignment lines up LHS/RHS one-to-one;
+					// a single multi-value RHS can't be a Key() call.
+					var lhs ast.Expr
+					if len(s.Lhs) == len(s.Rhs) {
+						lhs = s.Lhs[i]
+					} else {
+						lhs = s.Lhs[0]
+					}
+					if retainingLHS(lhs) {
+						report(p, emit, call)
+					}
+				}
+				// `x = append(x, it.Key())` is caught by the CallExpr case
+				// when the walk descends into the RHS.
+			case *ast.CompositeLit:
+				for _, el := range s.Elts {
+					expr := el
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						expr = kv.Value
+					}
+					if call, ok := keyValueCall(p, expr); ok {
+						report(p, emit, call)
+					}
+				}
+			case *ast.SendStmt:
+				if call, ok := keyValueCall(p, s.Value); ok {
+					report(p, emit, call)
+				}
+			case *ast.CallExpr:
+				checkAppendArg(p, emit, s)
+			}
+			return true
+		})
+	}
+}
+
+// checkAppendArg flags `append(s, it.Key())` — appending the aliased
+// slice as an element.  `append(s, it.Key()...)` splices the bytes by
+// value and is the blessed copy idiom, as is `copy(dst, it.Key())`.
+func checkAppendArg(p *pkg, emit func(diag), e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "append" || p.info.Uses[fun] != types.Universe.Lookup("append") {
+		return
+	}
+	for i, arg := range call.Args[1:] {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-2 {
+			continue // it.Key()... copies element-wise
+		}
+		if kv, ok := keyValueCall(p, arg); ok {
+			report(p, emit, kv)
+		}
+	}
+}
+
+// keyValueCall reports whether e is a zero-argument Key() or Value()
+// method call returning []byte.
+func keyValueCall(p *pkg, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Key" && sel.Sel.Name != "Value") {
+		return nil, false
+	}
+	fn := p.funcFor(call)
+	if fn == nil {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return nil, false
+	}
+	slice, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil, false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return call, ok && basic.Kind() == types.Byte
+}
+
+// retainingLHS reports whether assigning to lhs outlives the current
+// iteration step: struct fields, map/slice elements, dereferences.
+// Plain local identifiers do not retain.
+func retainingLHS(lhs ast.Expr) bool {
+	switch ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func report(p *pkg, emit func(diag), call *ast.CallExpr) {
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	emit(diag{
+		pass: "alias",
+		pos:  p.fset.Position(call.Pos()),
+		msg: fmt.Sprintf("%s() returns a slice that aliases the iterator's reused buffer; copy it (e.g. append([]byte(nil), %s()...)) before retaining",
+			sel.Sel.Name, types.ExprString(call.Fun)),
+	})
+}

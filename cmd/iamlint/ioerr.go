@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ioerrPkgs are the packages whose error results must never be
+// silently discarded: they wrap the storage layer, where a dropped
+// error means silent data loss.
+var ioerrPkgs = []string{
+	"internal/vfs",
+	"internal/wal",
+	"internal/table",
+	"internal/manifest",
+}
+
+// receiverNamed returns the named type of a method call's receiver
+// (unwrapping one pointer), or nil when there is none.
+func receiverNamed(p *pkg, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	selection, ok := p.info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	return named
+}
+
+func ioerrScoped(path string) bool {
+	for _, s := range ioerrPkgs {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// ioerr flags statement-level calls (the only way to discard every
+// result implicitly) into the storage packages when the callee returns
+// an error.  `defer f.Close()` cleanup is exempt; `_ = f.Close()` is
+// the explicit, blessed discard form.
+func ioerr(p *pkg, emit func(diag)) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.funcFor(call)
+			if fn == nil || !returnsError(fn) {
+				return true
+			}
+			// A method promoted from an embedded stdlib interface (e.g.
+			// io.Closer inside vfs.File) is defined in "io", so also scope
+			// by the receiver's named type: vfs.File.Close counts.
+			owner := pkgPathOf(fn)
+			label := fn.Pkg().Name() + "." + fn.Name()
+			if !ioerrScoped(owner) {
+				named := receiverNamed(p, call)
+				if named == nil || !ioerrScoped(named.Obj().Pkg().Path()) {
+					return true
+				}
+				label = named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + fn.Name()
+			}
+			emit(diag{
+				pass: "ioerr",
+				pos:  p.fset.Position(call.Pos()),
+				msg: fmt.Sprintf("error result of %s is discarded (handle it, or write `_ = ...` to discard explicitly)",
+					label),
+			})
+			return true
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixtures under testdata/ are real packages (go list skips
+// testdata dirs, so `./...` never lints them).  Bad fixtures carry
+// `// want [pass] substring` comments on the line each diagnostic must
+// anchor to; the tests assert the emitted set matches exactly.
+
+func TestGoodFixtureIsClean(t *testing.T) {
+	diags, err := run([]string{"./testdata/good"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("good fixture produced diagnostics:\n%s", strings.Join(diags, "\n"))
+	}
+}
+
+func TestBadFixtures(t *testing.T) {
+	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad"} {
+		t.Run(dir, func(t *testing.T) {
+			pattern := "./testdata/" + dir
+			diags, err := run([]string{pattern})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(diags) == 0 {
+				t.Fatalf("bad fixture %s produced no diagnostics", dir)
+			}
+			checkWants(t, filepath.Join("testdata", dir), diags)
+		})
+	}
+}
+
+// TestAllBadFixturesTogether mirrors how check.sh proves the tool's
+// exit path: linting every bad fixture at once must find everything.
+func TestAllBadFixturesTogether(t *testing.T) {
+	diags, err := run([]string{
+		"./testdata/lockbad", "./testdata/ioerrbad",
+		"./testdata/determbad", "./testdata/aliasbad",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := 0
+	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad"} {
+		want += len(loadWants(t, filepath.Join("testdata", dir)))
+	}
+	if len(diags) != want {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), want, strings.Join(diags, "\n"))
+	}
+}
+
+type want struct {
+	file string
+	line int
+	pass string
+	sub  string
+}
+
+var wantRe = regexp.MustCompile(`// want \[(\w+)\] (.+)$`)
+
+// loadWants collects the `// want` expectations of every .go file in
+// dir.
+func loadWants(t *testing.T, dir string) []want {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			wants = append(wants, want{
+				file: path,
+				line: i + 1,
+				pass: m[1],
+				sub:  strings.TrimSpace(m[2]),
+			})
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want comments found in %s", dir)
+	}
+	return wants
+}
+
+// checkWants matches diagnostics ("file:line: [pass] msg") against the
+// fixture's expectations one-to-one.
+func checkWants(t *testing.T, dir string, diags []string) {
+	t.Helper()
+	wants := loadWants(t, dir)
+	matched := make([]bool, len(diags))
+outer:
+	for _, w := range wants {
+		prefix := fmt.Sprintf("%s:%d: [%s] ", w.file, w.line, w.pass)
+		for i, d := range diags {
+			if !matched[i] && strings.HasPrefix(d, prefix) && strings.Contains(d, w.sub) {
+				matched[i] = true
+				continue outer
+			}
+		}
+		t.Errorf("missing diagnostic %q containing %q", prefix, w.sub)
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

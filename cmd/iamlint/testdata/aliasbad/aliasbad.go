@@ -1,0 +1,34 @@
+// Package aliasbad retains iterator Key()/Value() slices without a
+// copy; every retention below must be flagged by the alias pass.
+package aliasbad
+
+type iter struct{ buf []byte }
+
+func (it *iter) Key() []byte   { return it.buf }
+func (it *iter) Value() []byte { return it.buf }
+
+type sink struct {
+	last []byte
+	all  [][]byte
+	byID map[int][]byte
+}
+
+func (s *sink) retainField(it *iter) {
+	s.last = it.Key() // want [alias] Key() returns a slice that aliases
+}
+
+func (s *sink) retainMap(it *iter, id int) {
+	s.byID[id] = it.Value() // want [alias] Value() returns a slice that aliases
+}
+
+func (s *sink) retainAppend(it *iter) {
+	s.all = append(s.all, it.Value()) // want [alias] Value() returns a slice that aliases
+}
+
+func retainLiteral(it *iter) [][]byte {
+	return [][]byte{it.Key()} // want [alias] Key() returns a slice that aliases
+}
+
+func retainSend(it *iter, ch chan []byte) {
+	ch <- it.Key() // want [alias] Key() returns a slice that aliases
+}

@@ -1,0 +1,28 @@
+// Package determbad opts into the determinism scope and then breaks
+// it: wall-clock reads, the global rand source, and direct OS access.
+//
+//iamlint:deterministic
+package determbad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func now() int64 { return time.Now().UnixNano() } // want [determinism] time.Now reads the wall clock
+
+func wait() { time.Sleep(time.Millisecond) } // want [determinism] time.Sleep reads the wall clock
+
+func roll() int { return rand.Intn(6) } // want [determinism] rand.Intn uses the globally-seeded rand source
+
+func home() string { return os.Getenv("HOME") } // want [determinism] os.Getenv touches the real OS
+
+func seeded() int {
+	r := rand.New(rand.NewSource(1)) // constructing a seeded source is allowed
+	return r.Intn(6)
+}
+
+func duration(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond // conversions are not calls
+}

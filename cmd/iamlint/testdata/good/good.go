@@ -1,0 +1,72 @@
+// Package good contains code every iamlint pass accepts: deferred and
+// per-path unlocks, handled or explicitly-discarded storage errors,
+// copy-before-retain iterator use, and a suppression directive.
+package good
+
+import (
+	"sync"
+
+	"iamdb/internal/vfs"
+)
+
+type iter struct{ buf []byte }
+
+func (it *iter) Key() []byte   { return it.buf }
+func (it *iter) Value() []byte { return it.buf }
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	dst  []byte
+	last []byte
+}
+
+func (s *store) deferred(fs vfs.FS, name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fs.Remove(name)
+}
+
+func (s *store) explicitPaths(n int) int {
+	s.mu.Lock()
+	if n > 0 {
+		s.mu.Unlock()
+		return n
+	}
+	s.mu.Unlock()
+	return -n
+}
+
+func (s *store) readLocked() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return len(s.dst)
+}
+
+func (s *store) deferredLiteral() {
+	s.mu.Lock()
+	defer func() {
+		s.dst = s.dst[:0]
+		s.mu.Unlock()
+	}()
+	s.dst = append(s.dst, 1)
+}
+
+func blessedDiscard(fs vfs.FS, name string) {
+	_ = fs.Remove(name) // explicit discard is the sanctioned form
+}
+
+func deferredCleanup(f vfs.File) error {
+	defer f.Close() // deferred cleanup is exempt
+	return f.Sync()
+}
+
+func (s *store) copyBeforeRetain(it *iter) {
+	s.dst = append(s.dst[:0], it.Key()...) // ellipsis append copies
+	k := it.Value()                        // locals are fine
+	s.dst = append(s.dst, k...)
+}
+
+func (s *store) suppressed(it *iter) {
+	s.last = it.Key() //iamlint:ignore alias
+}

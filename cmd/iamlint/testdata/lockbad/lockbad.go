@@ -1,0 +1,44 @@
+// Package lockbad holds lock-discipline violations the lockcheck pass
+// must flag.  Trailing want-comments pin the expected diagnostics; the
+// analyzer tests assert the exact set.
+package lockbad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func (b *box) leakOnEarlyReturn(v int) int {
+	b.mu.Lock()
+	if v < 0 {
+		return -1 // want [lockcheck] b.mu.Lock() at line 15 is not released
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func (b *box) leakAtEnd() {
+	b.mu.Lock()
+	b.n++
+} // want [lockcheck] b.mu.Lock() at line 24 is not released
+
+func (b *box) leakReadLock() int {
+	b.rw.RLock()
+	if b.n == 0 {
+		return 0 // want [lockcheck] b.rw.RLock() at line 29 is not released
+	}
+	b.rw.RUnlock()
+	return b.n
+}
+
+func (b *box) balanced(v int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v < 0 {
+		return -1
+	}
+	return b.n
+}

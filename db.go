@@ -184,7 +184,7 @@ func (db *DB) recover() error {
 	maxLog := logNum
 	for _, num := range logs {
 		if num < logNum {
-			db.fs.Remove(logName(db.dir, num)) // already flushed
+			_ = db.fs.Remove(logName(db.dir, num)) // already flushed; best-effort cleanup
 			continue
 		}
 		if num > maxLog {
@@ -206,7 +206,9 @@ func (db *DB) recover() error {
 		return err
 	}
 	for _, num := range logs {
-		db.fs.Remove(logName(db.dir, num))
+		// Obsolete after the flush above; a leftover log is re-deleted on
+		// the next recovery, so failure here is not fatal.
+		_ = db.fs.Remove(logName(db.dir, num))
 	}
 	f, err := db.fs.Create(logName(db.dir, db.walNum))
 	if err != nil {
@@ -328,11 +330,18 @@ func (db *DB) rotateLocked() error {
 	if err != nil {
 		return err
 	}
+	// Close the old WAL before swapping state: a failed close may mean
+	// lost appends, and the immutable memtable would depend on them for
+	// recovery.  On failure, drop the new log and leave state untouched.
+	if err := db.walF.Close(); err != nil {
+		_ = f.Close()
+		_ = db.fs.Remove(logName(db.dir, newNum))
+		return err
+	}
 	db.imm = db.mem
 	db.immWalNum = db.walNum
 	db.immLastSeq = db.seq
 	db.mem = memtable.New()
-	db.walF.Close()
 	db.walF = f
 	db.walW = wal.NewWriter(f)
 	db.walW.SetSync(db.opt.SyncWrites)
@@ -371,7 +380,9 @@ func (db *DB) flushWorker() {
 				db.bgErr = err
 			} else {
 				db.imm = nil
-				db.fs.Remove(logName(db.dir, immWal))
+				// The flushed log is re-deleted on next recovery if this
+				// best-effort removal fails.
+				_ = db.fs.Remove(logName(db.dir, immWal))
 			}
 			db.cond.Broadcast()
 			db.mu.Unlock()
@@ -460,8 +471,7 @@ func (db *DB) Close() error {
 	db.mu.Unlock()
 	close(db.quit)
 	db.wg.Wait()
-	db.walF.Close()
-	return db.eng.Close()
+	return errors.Join(db.walF.Close(), db.eng.Close())
 }
 
 // CompactAll flushes both memtables and settles every pending

@@ -15,12 +15,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"iamdb/internal/cache"
 	"iamdb/internal/engine"
+	"iamdb/internal/invariants"
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
@@ -127,8 +129,12 @@ func (t *Tree) ref(nd *node) { nd.refs++ }
 func (t *Tree) unref(nd *node) {
 	t.mu.Lock()
 	nd.refs--
+	if invariants.Enabled {
+		invariants.Assertf(nd.refs >= 0, "node %d refcount went negative (%d)", nd.num, nd.refs)
+	}
 	if nd.refs == 0 {
-		nd.tbl.Close()
+		// Read-only handle of a dropped node; nothing left to flush.
+		_ = nd.tbl.Close()
 	}
 	t.mu.Unlock()
 }
@@ -180,7 +186,7 @@ func Open(cfg Config) (*Tree, error) {
 			return nil, err
 		}
 		if err := cfg.FS.Rename(manPath+".tmp", manPath); err != nil {
-			man.Close()
+			_ = man.Close()
 			return nil, err
 		}
 		t.man = man
@@ -341,10 +347,15 @@ func (t *Tree) newTableCap(capacity int64) (*table.Table, uint64, error) {
 func (t *Tree) deleteNode(nd *node) {
 	nd.tbl.EvictBlocks()
 	nd.refs--
-	if nd.refs == 0 {
-		nd.tbl.Close()
+	if invariants.Enabled {
+		invariants.Assertf(nd.refs >= 0, "node %d refcount went negative (%d)", nd.num, nd.refs)
 	}
-	t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, nd.num))
+	if nd.refs == 0 {
+		_ = nd.tbl.Close()
+	}
+	// Best-effort: an orphaned table file wastes space but cannot be
+	// resurrected — recovery only loads files named by the manifest.
+	_ = t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, nd.num))
 }
 
 // SetHorizon implements engine.Engine.
@@ -484,12 +495,14 @@ func (t *Tree) levelDataSizesLocked() []int64 {
 func (t *Tree) Close() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	var errs []error
 	for i := 1; i <= t.n(); i++ {
 		for _, nd := range t.levels[i] {
-			nd.tbl.Close()
+			errs = append(errs, nd.tbl.Close())
 		}
 	}
-	return t.man.Close()
+	errs = append(errs, t.man.Close())
+	return errors.Join(errs...)
 }
 
 // CheckInvariants validates the tree's structural invariants; tests and
@@ -497,6 +510,12 @@ func (t *Tree) Close() error {
 func (t *Tree) CheckInvariants() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.checkInvariantsLocked()
+}
+
+// checkInvariantsLocked is CheckInvariants for callers already holding
+// t.mu — the `-tags invariants` build runs it after every flush.
+func (t *Tree) checkInvariantsLocked() error {
 	for i := 1; i <= t.n(); i++ {
 		lvl := t.levels[i]
 		for j, nd := range lvl {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"iamdb/internal/engine"
+	"iamdb/internal/invariants"
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
@@ -70,7 +71,17 @@ func (t *Tree) Flush(it iterator.Iterator) error {
 	if err := t.flushBatch(0, b.span(), b); err != nil {
 		return err
 	}
-	return t.maintain()
+	if err := t.maintain(); err != nil {
+		return err
+	}
+	if invariants.Enabled {
+		// The full structural check after every flush cascade: disjoint
+		// sorted ranges, data inside node ranges, level thresholds.
+		if err := t.checkInvariantsLocked(); err != nil {
+			invariants.Assertf(false, "tree invariants broken after flush: %v", err)
+		}
+	}
+	return nil
 }
 
 func (t *Tree) treeEmptyLocked() bool {
@@ -491,8 +502,10 @@ func (t *Tree) writeNodesFrom(it iterator.Iterator, limit int64) ([]*node, int64
 		}
 		res, err := tbl.Append(cb.iter())
 		if err != nil {
-			tbl.Close()
-			t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, num))
+			// Error-path cleanup of a half-written table: the append
+			// failure is the error that matters.
+			_ = tbl.Close()
+			_ = t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, num))
 			return nodes, total, err
 		}
 		total += res.Bytes

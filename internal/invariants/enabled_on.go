@@ -1,0 +1,8 @@
+//go:build invariants
+
+package invariants
+
+// Enabled reports whether expensive runtime assertions are compiled
+// in.  It is a constant so release builds eliminate guarded blocks
+// entirely.
+const Enabled = true

@@ -1,0 +1,31 @@
+//go:build !invariants
+
+package invariants
+
+import "testing"
+
+func TestEnabledOff(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without -tags invariants")
+	}
+}
+
+// guarded mirrors how call sites use the package: the constant guard
+// must make the whole block — including format-argument boxing —
+// disappear in release builds.
+//
+//go:noinline
+func guarded(a, b int) {
+	if Enabled {
+		Assertf(a <= b, "range inverted: %d > %d", a, b)
+	}
+}
+
+func TestGuardedCheckIsZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(1000, func() {
+		guarded(1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("guarded assertion allocated %.1f times per run; want 0", allocs)
+	}
+}

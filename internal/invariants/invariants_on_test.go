@@ -1,0 +1,51 @@
+//go:build invariants
+
+package invariants
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnabledOn(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under -tags invariants")
+	}
+}
+
+func TestAssertFires(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assert(false) did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "refs went negative") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	if Enabled {
+		Assert(false, "refs went negative")
+	}
+}
+
+func TestAssertfFires(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Assertf(false) did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "keys out of order at 7") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	if Enabled {
+		Assertf(false, "keys out of order at %d", 7)
+	}
+}
+
+func TestAssertPassesQuietly(t *testing.T) {
+	if Enabled {
+		Assert(true, "should not fire")
+		Assertf(true, "should not fire: %d", 1)
+	}
+}

@@ -67,8 +67,10 @@ func (d *DB) writeFiles(it iterator.Iterator, limit int64) ([]*file, int64, erro
 		}
 		res, err := tbl.Append(iterator.NewSlice(kv.CompareInternal, keys, vals))
 		if err != nil {
-			tbl.Close()
-			d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, num))
+			// Error-path cleanup of a half-written table: the append
+			// failure is the error that matters.
+			_ = tbl.Close()
+			_ = d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, num))
 			return files, total, err
 		}
 		total += res.Bytes

@@ -21,6 +21,7 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -146,7 +147,7 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 		if err := cfg.FS.Rename(manPath+".tmp", manPath); err != nil {
-			man.Close()
+			_ = man.Close()
 			return nil, err
 		}
 		d.man = man
@@ -220,7 +221,8 @@ func (d *DB) unref(f *file) {
 	d.mu.Lock()
 	f.refs--
 	if f.refs == 0 {
-		f.tbl.Close()
+		// Read-only handle of a dropped file; nothing left to flush.
+		_ = f.tbl.Close()
 	}
 	d.mu.Unlock()
 }
@@ -229,9 +231,11 @@ func (d *DB) deleteFile(f *file) {
 	f.tbl.EvictBlocks()
 	f.refs--
 	if f.refs == 0 {
-		f.tbl.Close()
+		_ = f.tbl.Close()
 	}
-	d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, f.num))
+	// Best-effort: an orphaned table file wastes space but cannot be
+	// resurrected — recovery only loads files named by the manifest.
+	_ = d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, f.num))
 }
 
 // threshold returns level i's size threshold in bytes.
@@ -313,12 +317,14 @@ func (d *DB) SpaceUsed() int64 {
 func (d *DB) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var errs []error
 	for i := range d.levels {
 		for _, f := range d.levels[i] {
-			f.tbl.Close()
+			errs = append(errs, f.tbl.Close())
 		}
 	}
-	return d.man.Close()
+	errs = append(errs, d.man.Close())
+	return errors.Join(errs...)
 }
 
 // Get implements engine.Engine: L0 files newest-first, then at most one

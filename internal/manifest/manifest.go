@@ -267,7 +267,7 @@ func Create(fs vfs.FS, name string, st *State) (*Log, error) {
 	}
 	l := &Log{f: f, w: wal.NewWriter(f)}
 	if err := l.Append(st.Snapshot()); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return l, nil

@@ -31,6 +31,7 @@ import (
 	"iamdb/internal/block"
 	"iamdb/internal/bloom"
 	"iamdb/internal/cache"
+	"iamdb/internal/invariants"
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/vfs"
@@ -125,7 +126,7 @@ func Create(fs vfs.FS, name string, id uint64, capacity int64, opt Options) (*Ta
 	t := &Table{fs: fs, f: f, name: name, id: id, capacity: capacity,
 		cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression}
 	if err := t.writeMeta(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	return t, nil
@@ -139,29 +140,29 @@ func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 	}
 	size, err := f.Size()
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if size < footerLen {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: file %s shorter than footer", ErrCorrupt, name)
 	}
 	var foot [footerLen]byte
 	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if binary.LittleEndian.Uint64(foot[0:8]) != magic {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, name)
 	}
 	if binary.LittleEndian.Uint32(foot[8:12]) != version {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: unknown version in %s", ErrCorrupt, name)
 	}
 	wantCRC := binary.LittleEndian.Uint32(foot[36:40])
 	if crc32.Checksum(foot[:36], castagnoli) != wantCRC {
-		f.Close()
+		_ = f.Close()
 		return nil, fmt.Errorf("%w: footer checksum in %s", ErrCorrupt, name)
 	}
 	seqCount := int(binary.LittleEndian.Uint32(foot[12:16]))
@@ -173,12 +174,12 @@ func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 	raw := make([]byte, metaLen)
 	if metaLen > 0 {
 		if _, err := f.ReadAt(raw, metaOff); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 	}
 	if err := t.parseMeta(raw, seqCount); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	for _, s := range t.seqs {
@@ -530,6 +531,12 @@ func (w *seqWriter) add(ikey, val []byte) error {
 	}
 	if w.entries == 0 {
 		w.smallest = append([]byte(nil), ikey...)
+	}
+	if invariants.Enabled {
+		// Sequences must be written in strictly ascending internal-key
+		// order or Get/iterators silently return wrong results.
+		invariants.Assertf(w.entries == 0 || kv.CompareInternal(w.lastKey, ikey) < 0,
+			"append out of order: %x then %x", w.lastKey, ikey)
 	}
 	w.lastKey = append(w.lastKey[:0], ikey...)
 	u := kv.UserKey(ikey)

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Pre-PR gate: every check a change must pass before review.
+# Run from the repo root:  ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== iamlint"
+go run ./cmd/iamlint ./...
+
+echo "== iamlint self-test (bad fixtures must fail)"
+if go run ./cmd/iamlint \
+    ./cmd/iamlint/testdata/lockbad \
+    ./cmd/iamlint/testdata/ioerrbad \
+    ./cmd/iamlint/testdata/determbad \
+    ./cmd/iamlint/testdata/aliasbad >/dev/null 2>&1; then
+    echo "iamlint found nothing in the bad fixtures — the analyzer is broken"
+    exit 1
+fi
+
+echo "== go build -tags invariants"
+go build -tags invariants ./...
+go test -tags invariants ./internal/invariants/
+
+echo "== go test -race"
+# The harness simulations exceed go test's default 10-minute timeout
+# under the race detector's ~10x slowdown; give them room.
+go test -race -timeout 45m ./...
+
+echo "All checks passed."
