@@ -6,6 +6,7 @@
 //	iambench                         # run everything at medium scale
 //	iambench -experiment table4      # one experiment
 //	iambench -scale small            # quicker, smaller datasets
+//	iambench -json ./results         # also write BENCH_<id>.json blobs
 //	iambench -list                   # list experiment ids
 //
 // Experiment ids: table1 table2 table3 table4 table5 figure6
@@ -13,10 +14,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"path/filepath"
 	"time"
 
 	"iamdb/internal/harness"
@@ -59,9 +61,10 @@ func experiments() []experiment {
 
 func main() {
 	var (
-		expID = flag.String("experiment", "", "experiment id (default: all)")
-		scale = flag.String("scale", "medium", "small | medium | full")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID   = flag.String("experiment", "", "experiment id (default: all)")
+		scale   = flag.String("scale", "medium", "small | medium | full")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonDir = flag.String("json", "", "directory for BENCH_<id>.json metrics blobs")
 	)
 	flag.Parse()
 
@@ -91,18 +94,40 @@ func main() {
 
 	exps := experiments()
 	if *expID != "" {
-		idx := sort.Search(len(exps), func(i int) bool { return exps[i].id >= *expID })
-		if idx >= len(exps) || exps[idx].id != *expID {
+		// The id list is in presentation order, not sorted: scan.
+		idx := -1
+		for i, e := range exps {
+			if e.id == *expID {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *expID)
 			os.Exit(2)
 		}
 		exps = exps[idx : idx+1]
 	}
 
+	// When -json is set, each environment reports its final metrics
+	// snapshot through the harness sink; one BENCH_<id>.json per
+	// experiment captures per-level amplification alongside the table.
+	var records []harness.MetricsRecord
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "mkdir %s: %v\n", *jsonDir, err)
+			os.Exit(1)
+		}
+		harness.SetMetricsSink(func(r harness.MetricsRecord) {
+			records = append(records, r)
+		})
+	}
+
 	fmt.Printf("iambench: scale=%s (100G-class=%d records, 1T-class=%d records, Ct=%dKiB)\n\n",
 		s.Name, s.Records100G, s.Records1T, s.Ct/1024)
 	for _, e := range exps {
 		start := time.Now()
+		records = records[:0]
 		tbl, err := e.run(s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
@@ -110,5 +135,36 @@ func main() {
 		}
 		fmt.Println(tbl.Format())
 		fmt.Printf("(%s finished in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := writeBench(*jsonDir, e.id, s.Name, tbl, records); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// benchBlob is the BENCH_<id>.json schema: the rendered table plus the
+// full metrics snapshot of every environment the experiment ran.
+type benchBlob struct {
+	Experiment string
+	Scale      string
+	Title      string
+	Header     []string
+	Rows       [][]string
+	Runs       []harness.MetricsRecord
+}
+
+func writeBench(dir, id, scale string, tbl harness.Table, runs []harness.MetricsRecord) error {
+	blob := benchBlob{
+		Experiment: id, Scale: scale,
+		Title: tbl.Title, Header: tbl.Header, Rows: tbl.Rows,
+		Runs: runs,
+	}
+	data, err := json.MarshalIndent(blob, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -14,11 +14,13 @@
 //	scan <start> [limit]     print up to limit records from start
 //	rscan <start> [limit]    print up to limit records backward from start
 //	load <n> [valueSize]     insert n hash-ordered records
-//	stats                    print engine metrics
+//	stats                    print the per-level metrics report
+//	statsjson                print the metrics snapshot as JSON
 //	compact                  run the tuning phase to completion
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -133,20 +135,17 @@ func main() {
 		fmt.Printf("loaded %d records\n", n)
 	case "stats":
 		m := db.Metrics()
-		fmt.Printf("engine:     %s\n", *engine)
-		fmt.Printf("user bytes: %d\n", m.UserBytes)
-		fmt.Printf("space used: %d\n", m.SpaceUsed)
-		fmt.Printf("write amp:  %.2f\n", m.WriteAmplification())
-		fmt.Printf("cache hits: %.1f%%\n", 100*m.CacheHitRate)
-		fmt.Printf("appends=%d merges=%d moves=%d splits=%d combines=%d\n",
-			m.Engine.Appends, m.Engine.Merges, m.Engine.Moves,
-			m.Engine.Splits, m.Engine.Combines)
-		for _, l := range m.Levels {
-			fmt.Printf("  %s\n", l)
-		}
+		fmt.Printf("engine: %s\n", *engine)
+		fmt.Print(m.String())
 		if mm, kk := db.MixedLevel(); mm > 0 {
-			fmt.Printf("mixed level m=%d k=%d\n", mm, kk)
+			fmt.Printf("Mixed level m=%d k=%d\n", mm, kk)
 		}
+	case "statsjson":
+		data, err := json.MarshalIndent(db.Metrics(), "", "  ")
+		if err != nil {
+			fatalf("statsjson: %v", err)
+		}
+		fmt.Printf("%s\n", data)
 	case "compact":
 		if err := db.CompactAll(); err != nil {
 			fatalf("compact: %v", err)

@@ -14,6 +14,7 @@ import (
 var determinismScope = []string{
 	"internal/core",
 	"internal/harness",
+	"internal/metrics",
 	"internal/vfs",
 }
 

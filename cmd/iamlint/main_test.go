@@ -24,6 +24,39 @@ func TestGoodFixtureIsClean(t *testing.T) {
 	}
 }
 
+// TestDetermClockFixtureIsClean proves the determinism pass accepts
+// the injected metrics.Clock pattern: a package in scope may read time
+// through a Clock (disk clock, manual clock) without tripping the
+// wall-clock checks that still reject time.Now (see determbad).
+func TestDetermClockFixtureIsClean(t *testing.T) {
+	diags, err := run([]string{"./testdata/determclock"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("determclock fixture produced diagnostics:\n%s", strings.Join(diags, "\n"))
+	}
+}
+
+// TestDeterminismScope pins the package set the determinism pass
+// covers; internal/metrics must stay in scope so the observability
+// layer can never regress to ambient time.
+func TestDeterminismScope(t *testing.T) {
+	for _, path := range []string{
+		"iamdb/internal/core", "iamdb/internal/harness",
+		"iamdb/internal/metrics", "iamdb/internal/vfs",
+	} {
+		if !deterministicScoped(&pkg{path: path}) {
+			t.Errorf("%s not in determinism scope", path)
+		}
+	}
+	for _, path := range []string{"iamdb", "iamdb/cmd/iambench"} {
+		if deterministicScoped(&pkg{path: path}) {
+			t.Errorf("%s unexpectedly in determinism scope", path)
+		}
+	}
+}
+
 func TestBadFixtures(t *testing.T) {
 	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad"} {
 		t.Run(dir, func(t *testing.T) {

@@ -1,0 +1,46 @@
+// Package determclock opts into the determinism scope and measures
+// time the sanctioned way: through an injected metrics.Clock instead
+// of the wall clock.  Every pattern here — interface clock reads,
+// manual test clocks, registry instruments, event listeners with
+// clock-derived durations — must lint clean, while the same code
+// written with time.Now stays rejected (see determbad).
+//
+//iamlint:deterministic
+package determclock
+
+import (
+	"time"
+
+	"iamdb/internal/metrics"
+)
+
+// timed measures a step against whatever clock the caller injected;
+// the harness passes the virtual disk clock, tests a ManualClock.
+func timed(c metrics.Clock, step func()) time.Duration {
+	start := c.Now()
+	step()
+	return c.Now() - start
+}
+
+// events fires a listener callback with a clock-derived duration.
+func events(c metrics.Clock, l *metrics.EventListener) {
+	l = l.EnsureDefaults()
+	start := c.Now()
+	l.FlushEnd(metrics.FlushInfo{Bytes: 1, Duration: c.Now() - start})
+}
+
+// manual is the unit-test pattern: a hand-advanced clock.
+func manual() time.Duration {
+	mc := new(metrics.ManualClock)
+	mc.Advance(time.Second)
+	return mc.Now()
+}
+
+// instruments exercises the registry without any ambient time source.
+func instruments() int64 {
+	r := metrics.NewRegistry()
+	r.Counter("stall.count").Inc()
+	r.Gauge("memtable.bytes").Set(1 << 20)
+	r.Histogram("latency.put").Record(time.Millisecond)
+	return r.Counter("stall.count").Load()
+}

@@ -26,9 +26,11 @@ import (
 	"iamdb/internal/cache"
 	"iamdb/internal/core"
 	"iamdb/internal/engine"
+	"iamdb/internal/histogram"
 	"iamdb/internal/kv"
 	"iamdb/internal/lsm"
 	"iamdb/internal/memtable"
+	"iamdb/internal/metrics"
 	"iamdb/internal/vfs"
 	"iamdb/internal/wal"
 )
@@ -50,11 +52,24 @@ type metaEngine interface {
 
 // DB is a key-value store.  All methods are safe for concurrent use.
 type DB struct {
-	opt   Options
-	dir   string
-	fs    vfs.FS
-	cache *cache.Cache
-	eng   metaEngine
+	opt    Options
+	dir    string
+	fs     vfs.FS
+	cache  *cache.Cache
+	eng    metaEngine
+	events *EventListener
+	clock  Clock
+
+	// reg names every DB-owned instrument; the hot paths hold direct
+	// pointers below so no map lookup happens per operation.
+	reg          *metrics.Registry
+	io           *vfs.IOStats
+	putHist      *histogram.Concurrent
+	getHist      *histogram.Concurrent
+	scanHist     *histogram.Concurrent
+	stallCount   *metrics.Counter
+	stallNanos   *metrics.Counter
+	walRotations *metrics.Counter
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -67,6 +82,7 @@ type DB struct {
 	walW       *wal.Writer
 	walF       vfs.File
 	walNum     uint64
+	walRetired int64 // bytes in WAL files already rotated out
 	snaps      map[kv.Seq]int
 	closed     bool
 	bgErr      error
@@ -85,14 +101,37 @@ func Open(dir string, opt *Options) (*DB, error) {
 		o = *opt
 	}
 	o = o.withDefaults()
+	// Every DB measures device IO.  Reuse the caller's StatsFS counters
+	// when one is supplied (the bench harness does) so traffic is not
+	// double-counted; otherwise wrap the filesystem ourselves.
+	var io *vfs.IOStats
+	if sfs, ok := o.FS.(*vfs.StatsFS); ok {
+		io = sfs.Stats()
+	} else {
+		io = &vfs.IOStats{}
+		o.FS = vfs.NewStatsFS(o.FS, io)
+	}
 	db := &DB{
 		opt: o, dir: dir, fs: o.FS,
 		cache:  cache.New(o.CacheSize),
+		events: o.EventListener.EnsureDefaults(),
+		clock:  o.Clock,
+		reg:    metrics.NewRegistry(),
+		io:     io,
 		mem:    memtable.New(),
 		snaps:  make(map[kv.Seq]int),
 		flushC: make(chan struct{}, 1), compactC: make(chan struct{}, 1),
 		quit: make(chan struct{}),
 	}
+	if db.clock == nil {
+		db.clock = newWallClock()
+	}
+	db.putHist = db.reg.Histogram("latency.put")
+	db.getHist = db.reg.Histogram("latency.get")
+	db.scanHist = db.reg.Histogram("latency.scan")
+	db.stallCount = db.reg.Counter("stall.count")
+	db.stallNanos = db.reg.Counter("stall.nanos")
+	db.walRotations = db.reg.Counter("wal.rotations")
 	db.cond = sync.NewCond(&db.mu)
 	if err := db.fs.MkdirAll(dir); err != nil {
 		return nil, err
@@ -130,6 +169,7 @@ func (db *DB) openEngine() error {
 			Policy: policy, K: db.opt.K, MemBudget: budget,
 			FixedM: db.opt.FixedM, BitsPerKey: db.opt.BitsPerKey,
 			Compression: db.opt.Compression,
+			Events:      db.events, Clock: db.clock,
 		})
 		if err != nil {
 			return err
@@ -146,6 +186,7 @@ func (db *DB) openEngine() error {
 			Fanout: db.opt.Fanout, L0CompactTrigger: db.opt.L0CompactTrigger,
 			Profile: profile, BitsPerKey: db.opt.BitsPerKey,
 			Compression: db.opt.Compression,
+			Events:      db.events, Clock: db.clock,
 		})
 		if err != nil {
 			return err
@@ -265,6 +306,15 @@ func (db *DB) Write(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
+	start := db.clock.Now()
+	err := db.write(b)
+	db.putHist.Record(db.clock.Now() - start)
+	return err
+}
+
+// write is Write's body; the wrapper measures commit latency (stall
+// time included — the tails Sec. 6.2 measures).
+func (db *DB) write(b *Batch) error {
 	db.throttle()
 
 	db.mu.Lock()
@@ -305,10 +355,30 @@ func (db *DB) Write(b *Batch) error {
 
 // throttle applies the engine's write-stall policy in the writer's own
 // goroutine, so stall time shows up as write latency — the behaviour
-// whose tails Sec. 6.2 measures.
+// whose tails Sec. 6.2 measures.  Stalled intervals are measured and
+// reported as paired WriteStallBegin/WriteStallEnd events plus the
+// cumulative stall counters in Metrics; the unstalled fast path reads
+// one atomic and returns.
 func (db *DB) throttle() {
+	lvl := db.eng.StallLevel()
+	if lvl == 0 {
+		return
+	}
+	start := db.clock.Now()
+	db.events.WriteStallBegin(metrics.StallInfo{Level: lvl})
+	db.stallWork(lvl)
+	d := db.clock.Now() - start
+	db.stallCount.Inc()
+	db.stallNanos.Add(int64(d))
+	db.events.WriteStallEnd(metrics.StallInfo{Level: lvl, Duration: d})
+}
+
+// stallWork runs compaction steps in the stalled writer's goroutine
+// until the stall clears: a hard stall (2) works until no work is
+// left, a slowdown (1) contributes one step.
+func (db *DB) stallWork(lvl int) {
 	for {
-		switch db.eng.StallLevel() {
+		switch lvl {
 		case 2:
 			if did, _ := db.eng.WorkStep(); !did {
 				return
@@ -319,6 +389,7 @@ func (db *DB) throttle() {
 		default:
 			return
 		}
+		lvl = db.eng.StallLevel()
 	}
 }
 
@@ -338,6 +409,10 @@ func (db *DB) rotateLocked() error {
 		_ = db.fs.Remove(logName(db.dir, newNum))
 		return err
 	}
+	oldNum, oldBytes := db.walNum, db.walW.Offset()
+	db.walRetired += oldBytes
+	db.walRotations.Inc()
+	db.events.WALRotated(metrics.WALRotationInfo{OldNum: oldNum, NewNum: newNum, OldBytes: oldBytes})
 	db.imm = db.mem
 	db.immWalNum = db.walNum
 	db.immLastSeq = db.seq
@@ -421,6 +496,13 @@ func (db *DB) compactWorker() {
 
 // Get returns the value for key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	start := db.clock.Now()
+	v, err := db.get(key)
+	db.getHist.Record(db.clock.Now() - start)
+	return v, err
+}
+
+func (db *DB) get(key []byte) ([]byte, error) {
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -504,44 +586,6 @@ func (db *DB) CompactAll() error {
 		return d.DrainCompactions()
 	}
 	return nil
-}
-
-// Metrics reports cumulative engine statistics.
-type Metrics struct {
-	// Engine holds per-level flush bytes and operation counts.
-	Engine engine.StatsSnapshot
-	// Levels summarizes the current tree shape.
-	Levels []engine.LevelInfo
-	// SpaceUsed is the on-disk footprint in bytes (excluding WAL).
-	SpaceUsed int64
-	// UserBytes is the total key+value bytes written by the user.
-	UserBytes int64
-	// CacheHitRate is the block-cache hit fraction since open.
-	CacheHitRate float64
-}
-
-// WriteAmplification is total compaction writes over user writes,
-// excluding the WAL, as the paper computes it (Sec. 6.2).
-func (m Metrics) WriteAmplification() float64 {
-	if m.UserBytes == 0 {
-		return 0
-	}
-	return float64(m.Engine.TotalFlushBytes()) / float64(m.UserBytes)
-}
-
-// Metrics returns a snapshot of the DB's statistics.
-func (db *DB) Metrics() Metrics {
-	db.mu.Lock()
-	user := db.userBytes
-	db.mu.Unlock()
-	rate, _, _ := db.cache.HitRate()
-	return Metrics{
-		Engine:       db.eng.Stats(),
-		Levels:       db.eng.Levels(),
-		SpaceUsed:    db.eng.SpaceUsed(),
-		UserBytes:    user,
-		CacheHitRate: rate,
-	}
 }
 
 // MixedLevel reports IAM's current (m, k) tuning; zero for baselines.

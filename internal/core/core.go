@@ -26,6 +26,7 @@ import (
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
+	"iamdb/internal/metrics"
 	"iamdb/internal/table"
 	"iamdb/internal/vfs"
 )
@@ -83,6 +84,12 @@ type Config struct {
 	// Compression enables flate compression of data blocks (off by
 	// default, matching the paper's setup).
 	Compression bool
+	// Events receives structural event notifications (flush, split,
+	// combine, merge, ...).  Nil means no-op listeners.
+	Events *metrics.EventListener
+	// Clock supplies monotonic time for event durations.  Nil means
+	// the zero clock: events fire but durations read 0.
+	Clock metrics.Clock
 }
 
 func (c *Config) fill() {
@@ -103,6 +110,10 @@ func (c *Config) fill() {
 	}
 	if c.MemBudget == 0 && c.Cache != nil {
 		c.MemBudget = c.Cache.Capacity()
+	}
+	c.Events = c.Events.EnsureDefaults()
+	if c.Clock == nil {
+		c.Clock = metrics.NopClock
 	}
 }
 
@@ -339,12 +350,14 @@ func (t *Tree) newTableCap(capacity int64) (*table.Table, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	t.cfg.Events.TableCreated(metrics.TableInfo{FileNum: num, Level: -1})
 	return tbl, num, nil
 }
 
 // deleteNode removes a node's file; the table handle closes when the
 // last reader releases it.  Caller holds Tree.mu.
 func (t *Tree) deleteNode(nd *node) {
+	t.cfg.Events.TableDeleted(metrics.TableInfo{FileNum: nd.num, Level: -1, Bytes: nd.dataSize()})
 	nd.tbl.EvictBlocks()
 	nd.refs--
 	if invariants.Enabled {
@@ -370,7 +383,7 @@ func (t *Tree) SetLogMeta(lastSeq kv.Seq, logNum uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.logSeq, t.logNum = lastSeq, logNum
-	return t.man.Append(&manifest.Edit{
+	return t.logEdit(&manifest.Edit{
 		LastSeq: lastSeq, SetLastSeq: true,
 		LogNum: logNum, SetLogNum: true,
 		NextFile: t.nextFile, SetNextFile: true,

@@ -10,6 +10,7 @@ import (
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
+	"iamdb/internal/metrics"
 	"iamdb/internal/table"
 )
 
@@ -56,11 +57,19 @@ func (t *Tree) Flush(it iterator.Iterator) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.CountFlush()
+	start := t.cfg.Clock.Now()
+	var flushed int64
+	// Fired via defer so the event pairs 1:1 with the CountFlush above
+	// even on error paths.
+	defer func() {
+		t.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: flushed, Duration: t.cfg.Clock.Now() - start})
+	}()
 	atBottom := t.treeEmptyLocked()
 	b, err := collect(engine.DropObsolete(it, t.horizon, atBottom))
 	if err != nil {
 		return err
 	}
+	flushed = int64(batchBytes(b))
 	if b.len() == 0 {
 		return nil
 	}
@@ -133,6 +142,11 @@ func (t *Tree) flushBatch(src int, srcRange kv.Range, b *batch) error {
 // destroy (a combine, Sec. 4.2.3) the node is removed afterwards.
 func (t *Tree) flushNode(i int, x *node, destroy bool) error {
 	t.stats.CountFlush()
+	start := t.cfg.Clock.Now()
+	var flushed int64
+	defer func() {
+		t.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: flushed, Duration: t.cfg.Clock.Now() - start})
+	}()
 	// Precondition 1: fewer than 2t children, else split instead.
 	if t.childCount(i, x.rng) >= 2*t.cfg.Fanout {
 		if err := t.splitNode(i, x); err != nil {
@@ -154,16 +168,19 @@ func (t *Tree) flushNode(i int, x *node, destroy bool) error {
 		}
 		t.removeFromLevel(i, x)
 		t.addToLevel(i+1, x)
-		t.stats.CountMove()
+		t.stats.CountMove(i + 1)
+		t.cfg.Events.MoveEnd(metrics.MoveInfo{FromLevel: i, ToLevel: i + 1})
 		return t.logEdit(&manifest.Edit{
 			Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}},
 			Added:   []manifest.NodeRecord{t.record(i+1, x)},
 		})
 	}
+	t.stats.AddReadBytes(i, x.dataSize())
 	b, err := t.loadNode(x)
 	if err != nil {
 		return err
 	}
+	flushed = int64(batchBytes(b))
 	if err := t.flushBatch(i, x.rng, b); err != nil {
 		return err
 	}
@@ -392,8 +409,9 @@ func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
 	if err != nil {
 		return err
 	}
-	t.stats.CountAppend()
+	t.stats.CountAppend(dst)
 	t.stats.AddFlushBytes(dst, res.Bytes)
+	t.cfg.Events.AppendEnd(metrics.AppendInfo{Level: dst, Bytes: res.Bytes})
 	newRng := kid.rng.Union(sub.span())
 	if newRng.String() != kid.rng.String() {
 		kid.rng = newRng
@@ -411,11 +429,13 @@ func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
 // nodes start at Cts = Ct/LeafInitFrac (Sec. 4.2.1, Fig. 4); at
 // internal merging levels the merge yields a single node.
 func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
+	start := t.cfg.Clock.Now()
 	atBottom := dst == t.n()
 	chunk := t.cfg.NodeCapacity // internal merge: one (near-)full node
 	if atBottom && kid.dataSize()+int64(batchBytes(sub)) > t.cfg.NodeCapacity {
 		chunk = t.cfg.NodeCapacity / int64(t.cfg.LeafInitFrac)
 	}
+	t.stats.AddReadBytes(dst, kid.dataSize())
 	merged := iterator.NewMerging(kv.CompareInternal, sub.iter(), kid.tbl.NewIter())
 	filtered := engine.DropObsolete(merged, t.horizon, atBottom)
 	filtered.First()
@@ -423,8 +443,9 @@ func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
 	if err != nil {
 		return err
 	}
-	t.stats.CountMerge()
+	t.stats.CountMerge(dst)
 	t.stats.AddFlushBytes(dst, bytes)
+	t.cfg.Events.MergeEnd(metrics.MergeInfo{Level: dst, Bytes: bytes, Duration: t.cfg.Clock.Now() - start})
 
 	edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: dst, FileNum: kid.num}},
 		NextFile: t.nextFile, SetNextFile: true}
@@ -530,6 +551,7 @@ func (t *Tree) splitNode(i int, x *node) error {
 	half := len(kidIdxs) / 2
 	mid := next[kidIdxs[half]].rng.Lo
 
+	t.stats.AddReadBytes(i, x.dataSize())
 	b, err := t.loadNode(x)
 	if err != nil {
 		return err
@@ -582,8 +604,9 @@ func (t *Tree) splitNode(i int, x *node) error {
 		}
 		newNodes = append(newNodes, nds...)
 	}
-	t.stats.CountSplit()
+	t.stats.CountSplit(i)
 	t.stats.AddFlushBytes(i, total)
+	t.cfg.Events.SplitEnd(metrics.SplitInfo{Level: i, Bytes: total, NewNodes: len(newNodes)})
 
 	edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}},
 		NextFile: t.nextFile, SetNextFile: true}
@@ -659,7 +682,8 @@ func (t *Tree) combineOne(i int) error {
 			}
 		}
 	}
-	t.stats.CountCombine()
+	t.stats.CountCombine(i)
+	t.cfg.Events.CombineEnd(metrics.CombineInfo{Level: i})
 	return t.flushNode(i, lvl[best], true)
 }
 
@@ -678,4 +702,7 @@ func (t *Tree) addToLevel(i int, x *node) {
 	t.sortLevel(i)
 }
 
-func (t *Tree) logEdit(e *manifest.Edit) error { return t.man.Append(e) }
+func (t *Tree) logEdit(e *manifest.Edit) error {
+	t.cfg.Events.ManifestEdit(metrics.ManifestEditInfo{Adds: len(e.Added), Deletes: len(e.Deleted)})
+	return t.man.Append(e)
+}

@@ -60,52 +60,129 @@ func (l LevelInfo) String() string {
 		l.Level, l.Nodes, l.Seqs, float64(l.Bytes)/(1<<20))
 }
 
-// Stats accumulates compaction-side counters.  All engines attribute
-// every table write to the level it lands in; Table 3 and Table 4 are
-// ratios of these counters to user bytes.
+// Stats accumulates compaction-side counters, broken down by level.
+// All engines attribute every table write to the level it lands in and
+// every compaction read to the level it came from; Table 3 and Table 4
+// are ratios of these counters to user bytes.
 type Stats struct {
-	mu sync.Mutex
-	s  StatsSnapshot
+	mu       sync.Mutex
+	perLevel []LevelStats
+	flushes  int64
+}
+
+// LevelStats is the cumulative traffic in and out of one level.
+type LevelStats struct {
+	// WriteBytes is payload written into this level by
+	// flushes/compactions (excluding the user log, as in the paper's
+	// Sec. 6.2 accounting).
+	WriteBytes int64
+	// ReadBytes is payload read from this level as compaction input.
+	ReadBytes int64
+	Appends   int64 // append operations landing on this level
+	Merges    int64 // merge (rewrite) operations landing on this level
+	Moves     int64 // metadata-only move-downs landing on this level
+	Splits    int64 // node splits at this level
+	Combines  int64 // node combines at this level
 }
 
 // StatsSnapshot is a copyable view of Stats.
 type StatsSnapshot struct {
-	// FlushBytes[i] = bytes written into level i by flushes/compactions
-	// (excluding the user log, as in the paper's Sec. 6.2 accounting).
+	// PerLevel[i] is the cumulative traffic for level i.
+	PerLevel []LevelStats
+	// FlushBytes mirrors PerLevel[i].WriteBytes; older callers
+	// consume the per-level write traffic under this name.
 	FlushBytes []int64
-	Appends    int64 // append operations
-	Merges     int64 // merge (rewrite) operations
-	Moves      int64 // metadata-only move-downs
+	Appends    int64 // append operations (total across levels)
+	Merges     int64 // merge (rewrite) operations (total)
+	Moves      int64 // metadata-only move-downs (total)
 	Splits     int64
 	Combines   int64
 	Flushes    int64 // node flushes (incl. memtable flushes)
 }
 
+// grow extends the per-level slice to cover level.  Caller holds mu.
+func (st *Stats) grow(level int) {
+	for len(st.perLevel) <= level {
+		st.perLevel = append(st.perLevel, LevelStats{})
+	}
+}
+
 // AddFlushBytes attributes written bytes to a destination level.
 func (st *Stats) AddFlushBytes(level int, n int64) {
 	st.mu.Lock()
-	for len(st.s.FlushBytes) <= level {
-		st.s.FlushBytes = append(st.s.FlushBytes, 0)
-	}
-	st.s.FlushBytes[level] += n
+	st.grow(level)
+	st.perLevel[level].WriteBytes += n
 	st.mu.Unlock()
 }
 
-// CountAppend, CountMerge, CountMove, CountSplit, CountCombine and
-// CountFlush increment their respective counters.
-func (st *Stats) CountAppend()  { st.mu.Lock(); st.s.Appends++; st.mu.Unlock() }
-func (st *Stats) CountMerge()   { st.mu.Lock(); st.s.Merges++; st.mu.Unlock() }
-func (st *Stats) CountMove()    { st.mu.Lock(); st.s.Moves++; st.mu.Unlock() }
-func (st *Stats) CountSplit()   { st.mu.Lock(); st.s.Splits++; st.mu.Unlock() }
-func (st *Stats) CountCombine() { st.mu.Lock(); st.s.Combines++; st.mu.Unlock() }
-func (st *Stats) CountFlush()   { st.mu.Lock(); st.s.Flushes++; st.mu.Unlock() }
+// AddReadBytes attributes compaction-input bytes to a source level.
+func (st *Stats) AddReadBytes(level int, n int64) {
+	st.mu.Lock()
+	st.grow(level)
+	st.perLevel[level].ReadBytes += n
+	st.mu.Unlock()
+}
 
-// Snapshot returns a copy of the counters.
+// CountAppend, CountMerge, CountMove, CountSplit and CountCombine
+// increment the per-level operation counters; appends, merges and
+// moves are attributed to the destination level, splits and combines
+// to the level where the node lives.  CountFlush counts one node
+// flush (level attribution for flushes is carried by AddFlushBytes).
+func (st *Stats) CountAppend(level int) {
+	st.mu.Lock()
+	st.grow(level)
+	st.perLevel[level].Appends++
+	st.mu.Unlock()
+}
+
+func (st *Stats) CountMerge(level int) {
+	st.mu.Lock()
+	st.grow(level)
+	st.perLevel[level].Merges++
+	st.mu.Unlock()
+}
+
+func (st *Stats) CountMove(level int) {
+	st.mu.Lock()
+	st.grow(level)
+	st.perLevel[level].Moves++
+	st.mu.Unlock()
+}
+
+func (st *Stats) CountSplit(level int) {
+	st.mu.Lock()
+	st.grow(level)
+	st.perLevel[level].Splits++
+	st.mu.Unlock()
+}
+
+func (st *Stats) CountCombine(level int) {
+	st.mu.Lock()
+	st.grow(level)
+	st.perLevel[level].Combines++
+	st.mu.Unlock()
+}
+
+func (st *Stats) CountFlush() { st.mu.Lock(); st.flushes++; st.mu.Unlock() }
+
+// Snapshot returns a copy of the counters, with the per-level rows
+// folded into the legacy totals and FlushBytes mirror.
 func (st *Stats) Snapshot() StatsSnapshot {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := st.s
-	out.FlushBytes = append([]int64(nil), st.s.FlushBytes...)
+	out := StatsSnapshot{
+		PerLevel:   append([]LevelStats(nil), st.perLevel...),
+		FlushBytes: make([]int64, len(st.perLevel)),
+		Flushes:    st.flushes,
+	}
+	for i, l := range st.perLevel {
+		out.FlushBytes[i] = l.WriteBytes
+		out.Appends += l.Appends
+		out.Merges += l.Merges
+		out.Moves += l.Moves
+		out.Splits += l.Splits
+		out.Combines += l.Combines
+	}
 	return out
 }
 
@@ -114,6 +191,15 @@ func (s StatsSnapshot) TotalFlushBytes() int64 {
 	var n int64
 	for _, b := range s.FlushBytes {
 		n += b
+	}
+	return n
+}
+
+// TotalReadBytes sums per-level compaction-read bytes.
+func (s StatsSnapshot) TotalReadBytes() int64 {
+	var n int64
+	for _, l := range s.PerLevel {
+		n += l.ReadBytes
 	}
 	return n
 }

@@ -118,12 +118,13 @@ func TestStatsAccumulate(t *testing.T) {
 	st.AddFlushBytes(3, 100)
 	st.AddFlushBytes(1, 50)
 	st.AddFlushBytes(3, 100)
-	st.CountAppend()
-	st.CountMerge()
-	st.CountMerge()
-	st.CountMove()
-	st.CountSplit()
-	st.CountCombine()
+	st.AddReadBytes(2, 75)
+	st.CountAppend(1)
+	st.CountMerge(2)
+	st.CountMerge(3)
+	st.CountMove(2)
+	st.CountSplit(1)
+	st.CountCombine(1)
 	st.CountFlush()
 	s := st.Snapshot()
 	if s.FlushBytes[3] != 200 || s.FlushBytes[1] != 50 || s.FlushBytes[0] != 0 {
@@ -132,12 +133,28 @@ func TestStatsAccumulate(t *testing.T) {
 	if s.TotalFlushBytes() != 250 {
 		t.Fatalf("total: %d", s.TotalFlushBytes())
 	}
+	if s.TotalReadBytes() != 75 {
+		t.Fatalf("read total: %d", s.TotalReadBytes())
+	}
 	if s.Appends != 1 || s.Merges != 2 || s.Moves != 1 || s.Splits != 1 || s.Combines != 1 || s.Flushes != 1 {
 		t.Fatalf("counters: %+v", s)
 	}
+	if len(s.PerLevel) != 4 {
+		t.Fatalf("per-level rows: %d", len(s.PerLevel))
+	}
+	if l := s.PerLevel[3]; l.WriteBytes != 200 || l.Merges != 1 {
+		t.Fatalf("L3 stats: %+v", l)
+	}
+	if l := s.PerLevel[2]; l.ReadBytes != 75 || l.Merges != 1 || l.Moves != 1 {
+		t.Fatalf("L2 stats: %+v", l)
+	}
+	if l := s.PerLevel[1]; l.WriteBytes != 50 || l.Appends != 1 || l.Splits != 1 || l.Combines != 1 {
+		t.Fatalf("L1 stats: %+v", l)
+	}
 	// Snapshot is a copy.
 	s.FlushBytes[3] = 0
-	if st.Snapshot().FlushBytes[3] != 200 {
+	s.PerLevel[3].WriteBytes = 0
+	if got := st.Snapshot(); got.FlushBytes[3] != 200 || got.PerLevel[3].WriteBytes != 200 {
 		t.Fatal("snapshot aliases internal state")
 	}
 }

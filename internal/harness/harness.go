@@ -81,6 +81,8 @@ type Env struct {
 	stats *vfs.IOStats
 	rng   *rand.Rand
 	value []byte
+	// reported guards the metrics sink against double Close.
+	reported bool
 }
 
 // paperCt is the paper's node capacity (Sec. 6.1): disk seek latency
@@ -113,6 +115,10 @@ func NewEnv(cfg Config) (*Env, error) {
 		K:                 cfg.K,
 		FixedM:            cfg.FixedM,
 		CompactionThreads: cfg.Threads,
+		// The disk's virtual clock is the experiment's time base, so
+		// event durations and latency histograms report simulated
+		// device time, not host time.
+		Clock: clock,
 	})
 	if err != nil {
 		return nil, err
@@ -125,8 +131,37 @@ func NewEnv(cfg Config) (*Env, error) {
 	}, nil
 }
 
-// Close shuts the environment down.
-func (e *Env) Close() error { return e.DB.Close() }
+// MetricsRecord is one environment's final metrics snapshot, tagged
+// with the engine and disk profile that produced it.
+type MetricsRecord struct {
+	Engine  string
+	Disk    string
+	Metrics iamdb.Metrics
+}
+
+// metricsSink, when installed, observes every environment's final
+// metrics snapshot at Close.  cmd/iambench uses it to emit a
+// BENCH_*.json blob per experiment so result trajectories capture
+// per-level amplification, not just throughput.
+var metricsSink func(MetricsRecord)
+
+// SetMetricsSink installs fn (nil to remove) as the metrics sink.  Not
+// safe to call while experiments are running.
+func SetMetricsSink(fn func(MetricsRecord)) { metricsSink = fn }
+
+// Close shuts the environment down, reporting final metrics to the
+// sink if one is installed.
+func (e *Env) Close() error {
+	if metricsSink != nil && !e.reported {
+		e.reported = true
+		metricsSink(MetricsRecord{
+			Engine:  e.Cfg.Engine.String(),
+			Disk:    e.Cfg.Disk.Name,
+			Metrics: e.DB.Metrics(),
+		})
+	}
+	return e.DB.Close()
+}
 
 // LoadResult reports a load phase.
 type LoadResult struct {
@@ -140,6 +175,9 @@ type LoadResult struct {
 	P99       time.Duration
 	Max       time.Duration
 	SpaceUsed int64
+	// Metrics is the DB's full observability snapshot at the end of
+	// the load (per-level traffic, stalls, IO, latency digests).
+	Metrics iamdb.Metrics
 }
 
 // HashLoad inserts Records keys in hash order (YCSB's default load,
@@ -195,6 +233,7 @@ func (e *Env) load(key func(i uint64) []byte) (LoadResult, error) {
 		P99:       hist.Percentile(0.99),
 		Max:       hist.Max(),
 		SpaceUsed: m.SpaceUsed,
+		Metrics:   m,
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
+	"iamdb/internal/metrics"
 	"iamdb/internal/table"
 )
 
@@ -14,9 +15,11 @@ func (d *DB) Flush(it iterator.Iterator) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.CountFlush()
+	start := d.cfg.Clock.Now()
 	filtered := engine.DropObsolete(it, d.horizon, false)
 	filtered.First()
 	files, bytes, err := d.writeFiles(filtered, 1<<62)
+	d.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: bytes, Duration: d.cfg.Clock.Now() - start})
 	if err != nil {
 		return err
 	}
@@ -27,7 +30,7 @@ func (d *DB) Flush(it iterator.Iterator) error {
 		edit.Added = append(edit.Added, d.record(0, f))
 	}
 	d.sortLevel0()
-	return d.man.Append(edit)
+	return d.logEdit(edit)
 }
 
 // writeFiles drains a positioned iterator into new tables of at most
@@ -73,6 +76,7 @@ func (d *DB) writeFiles(it iterator.Iterator, limit int64) ([]*file, int64, erro
 			_ = d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, num))
 			return files, total, err
 		}
+		d.cfg.Events.TableCreated(metrics.TableInfo{FileNum: num, Level: -1, Bytes: res.Bytes})
 		total += res.Bytes
 		files = append(files, &file{num: num, tbl: tbl, rng: tbl.UserRange(), refs: 1})
 	}
@@ -192,8 +196,9 @@ func (d *DB) compactLevel(i int) error {
 		d.removeFrom(i, f)
 		d.levels[i+1] = append(d.levels[i+1], f)
 		d.sortLevel(i + 1)
-		d.stats.CountMove()
-		return d.man.Append(&manifest.Edit{
+		d.stats.CountMove(i + 1)
+		d.cfg.Events.MoveEnd(metrics.MoveInfo{FromLevel: i, ToLevel: i + 1})
+		return d.logEdit(&manifest.Edit{
 			Deleted: []manifest.NodeRef{{Level: i, FileNum: f.num}},
 			Added:   []manifest.NodeRecord{d.record(i+1, f)},
 		})
@@ -214,6 +219,13 @@ func (d *DB) compactLevel(i int) error {
 	for _, f := range overlaps {
 		kids = append(kids, f.tbl.NewIter())
 	}
+	start := d.cfg.Clock.Now()
+	for _, f := range inputs {
+		d.stats.AddReadBytes(i, f.tbl.DataSize())
+	}
+	for _, f := range overlaps {
+		d.stats.AddReadBytes(i+1, f.tbl.DataSize())
+	}
 	merged := iterator.NewMerging(kv.CompareInternal, kids...)
 	atBottom := d.isBottom(i + 1)
 	filtered := engine.DropObsolete(merged, d.horizon, atBottom)
@@ -222,8 +234,9 @@ func (d *DB) compactLevel(i int) error {
 	if err != nil {
 		return err
 	}
-	d.stats.CountMerge()
+	d.stats.CountMerge(i + 1)
 	d.stats.AddFlushBytes(i+1, bytes)
+	d.cfg.Events.MergeEnd(metrics.MergeInfo{Level: i + 1, Bytes: bytes, Duration: d.cfg.Clock.Now() - start})
 
 	edit := &manifest.Edit{NextFile: d.nextFile, SetNextFile: true}
 	for _, f := range inputs {
@@ -241,7 +254,7 @@ func (d *DB) compactLevel(i int) error {
 		edit.Added = append(edit.Added, d.record(i+1, f))
 	}
 	d.sortLevel(i + 1)
-	return d.man.Append(edit)
+	return d.logEdit(edit)
 }
 
 // isBottom reports whether no level deeper than dst holds data.

@@ -31,6 +31,7 @@ import (
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
+	"iamdb/internal/metrics"
 	"iamdb/internal/table"
 	"iamdb/internal/vfs"
 )
@@ -76,6 +77,12 @@ type Config struct {
 	BitsPerKey int
 	// Compression enables flate compression of data blocks.
 	Compression bool
+	// Events receives structural event notifications (flush, merge,
+	// move, ...).  Nil means no-op listeners.
+	Events *metrics.EventListener
+	// Clock supplies monotonic time for event durations.  Nil means
+	// the zero clock: events fire but durations read 0.
+	Clock metrics.Clock
 }
 
 func (c *Config) fill() {
@@ -93,6 +100,10 @@ func (c *Config) fill() {
 	}
 	if c.MaxLevels == 0 {
 		c.MaxLevels = 7
+	}
+	c.Events = c.Events.EnsureDefaults()
+	if c.Clock == nil {
+		c.Clock = metrics.NopClock
 	}
 }
 
@@ -228,6 +239,7 @@ func (d *DB) unref(f *file) {
 }
 
 func (d *DB) deleteFile(f *file) {
+	d.cfg.Events.TableDeleted(metrics.TableInfo{FileNum: f.num, Level: -1, Bytes: f.tbl.DataSize()})
 	f.tbl.EvictBlocks()
 	f.refs--
 	if f.refs == 0 {
@@ -267,11 +279,16 @@ func (d *DB) SetLogMeta(lastSeq kv.Seq, logNum uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.logSeq, d.logNum = lastSeq, logNum
-	return d.man.Append(&manifest.Edit{
+	return d.logEdit(&manifest.Edit{
 		LastSeq: lastSeq, SetLastSeq: true,
 		LogNum: logNum, SetLogNum: true,
 		NextFile: d.nextFile, SetNextFile: true,
 	})
+}
+
+func (d *DB) logEdit(e *manifest.Edit) error {
+	d.cfg.Events.ManifestEdit(metrics.ManifestEditInfo{Adds: len(e.Added), Deletes: len(e.Deleted)})
+	return d.man.Append(e)
 }
 
 // LogMeta returns the recovered WAL position.

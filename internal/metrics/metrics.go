@@ -1,0 +1,204 @@
+// Package metrics is the storage engine's observability substrate: a
+// stdlib-only registry of atomic counters and gauges, concurrency-safe
+// latency histograms, an injectable monotonic clock, and the structured
+// EventListener the engines fire compaction events through.
+//
+// Everything here is deterministic by construction — the package never
+// reads the wall clock or the OS (it is inside the iamlint determinism
+// scope); time always arrives through a Clock the caller injects.  The
+// public DB layer injects real monotonic time, the experiment harness
+// injects the virtual disk clock, and tests inject a ManualClock.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iamdb/internal/histogram"
+)
+
+// Clock is a monotonic time source: Now reports elapsed time since an
+// arbitrary fixed epoch.  Implementations must be safe for concurrent
+// use.  vfs.DiskClock satisfies Clock with virtual device time; the DB
+// layer's default wires real monotonic time.
+type Clock interface {
+	Now() time.Duration
+}
+
+// ClockFunc adapts a function to Clock.
+type ClockFunc func() time.Duration
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Duration { return f() }
+
+// ManualClock is a Clock tests drive by hand.
+type ManualClock struct {
+	d atomic.Int64
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Duration { return time.Duration(c.d.Load()) }
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) { c.d.Add(int64(d)) }
+
+// NopClock is the zero time source: Now is always 0.  Engines opened
+// without an injected clock use it, so durations read as zero rather
+// than lying.
+var NopClock Clock = nopClock{}
+
+type nopClock struct{}
+
+func (nopClock) Now() time.Duration { return 0 }
+
+// Counter is a monotonically increasing atomic counter.  The zero
+// value is ready to use; all methods are safe for concurrent use and
+// allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load reports the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.  The zero value is ready to
+// use; all methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load reports the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry names counters, gauges and histograms.  Get-or-create
+// registration takes a lock; the returned instruments are lock-free,
+// so hot paths resolve their instruments once and hold the pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*histogram.Concurrent
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*histogram.Concurrent),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named latency histogram, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *histogram.Concurrent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = histogram.NewConcurrent()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every registered instrument,
+// JSON-friendly by construction.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]histogram.Summary
+}
+
+// Snapshot copies every instrument's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]histogram.Summary, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Summary()
+	}
+	return s
+}
+
+// String renders the snapshot with one sorted "name value" line per
+// instrument, for logs and CLI output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	var names []string
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(&b, "%s %d\n", name, v)
+		} else {
+			fmt.Fprintf(&b, "%s %d\n", name, s.Gauges[name])
+		}
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%s n=%d mean=%v p50=%v p99=%v max=%v\n",
+			name, h.Count, h.Mean, h.P50, h.P99, h.Max)
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("ops") != c || c.Load() != 3 {
+		t.Fatalf("counter identity or value broken: %d", c.Load())
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if r.Gauge("depth") != g || g.Load() != 5 {
+		t.Fatalf("gauge identity or value broken: %d", g.Load())
+	}
+	h := r.Histogram("lat")
+	h.Record(time.Millisecond)
+	if r.Histogram("lat") != h || h.Count() != 1 {
+		t.Fatalf("histogram identity or count broken: %d", h.Count())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.Counter("shared").Load(); n != 800 {
+		t.Fatalf("counter = %d, want 800", n)
+	}
+	if n := r.Histogram("h").Count(); n != 800 {
+		t.Fatalf("histogram count = %d, want 800", n)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(4)
+	r.Counter("a.count").Add(2)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat").Record(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["a.count"] != 2 || s.Counters["b.count"] != 4 || s.Gauges["depth"] != 3 {
+		t.Fatalf("snapshot values wrong: %+v", s)
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Fatalf("histogram summary missing: %+v", s.Histograms)
+	}
+	out := s.String()
+	// Keys render sorted within each section.
+	if strings.Index(out, "a.count") > strings.Index(out, "b.count") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestClocks(t *testing.T) {
+	mc := new(ManualClock)
+	if mc.Now() != 0 {
+		t.Fatal("manual clock must start at zero")
+	}
+	mc.Advance(3 * time.Second)
+	if mc.Now() != 3*time.Second {
+		t.Fatalf("manual clock = %v", mc.Now())
+	}
+	if NopClock.Now() != 0 {
+		t.Fatal("nop clock must read zero")
+	}
+	f := ClockFunc(func() time.Duration { return time.Minute })
+	if f.Now() != time.Minute {
+		t.Fatalf("clock func = %v", f.Now())
+	}
+}
+
+func TestEnsureDefaultsNilSafe(t *testing.T) {
+	var nilL *EventListener
+	l := nilL.EnsureDefaults()
+	// Every callback must be callable without panicking.
+	l.FlushEnd(FlushInfo{})
+	l.AppendEnd(AppendInfo{})
+	l.MergeEnd(MergeInfo{})
+	l.MoveEnd(MoveInfo{})
+	l.SplitEnd(SplitInfo{})
+	l.CombineEnd(CombineInfo{})
+	l.WALRotated(WALRotationInfo{})
+	l.ManifestEdit(ManifestEditInfo{})
+	l.TableCreated(TableInfo{})
+	l.TableDeleted(TableInfo{})
+	l.WriteStallBegin(StallInfo{})
+	l.WriteStallEnd(StallInfo{})
+
+	// Partially-populated listeners keep their callbacks.
+	n := 0
+	part := (&EventListener{FlushEnd: func(FlushInfo) { n++ }}).EnsureDefaults()
+	part.FlushEnd(FlushInfo{})
+	part.MergeEnd(MergeInfo{}) // filled with a no-op
+	if n != 1 {
+		t.Fatalf("kept callback fired %d times, want 1", n)
+	}
+}
+
+func TestTeeAndLoggingListener(t *testing.T) {
+	var lines []string
+	logging := NewLoggingListener(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	n := 0
+	counting := &EventListener{SplitEnd: func(SplitInfo) { n++ }}
+	tee := TeeListener(logging, counting, nil)
+	tee.SplitEnd(SplitInfo{Level: 2, Bytes: 10, NewNodes: 2})
+	tee.FlushEnd(FlushInfo{Bytes: 5})
+	if n != 1 {
+		t.Fatalf("tee did not reach the counting listener: %d", n)
+	}
+	if len(lines) != 2 || !strings.Contains(lines[0], "split") {
+		t.Fatalf("logging listener lines: %q", lines)
+	}
+}

@@ -46,6 +46,7 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 type Writer struct {
 	f         vfs.File
 	blockOff  int // bytes used in the current block
+	written   int64
 	buf       []byte
 	syncEvery bool
 }
@@ -69,6 +70,7 @@ func (w *Writer) Append(rec []byte) error {
 				if _, err := w.f.Write(make([]byte, avail)); err != nil {
 					return err
 				}
+				w.written += int64(avail)
 			}
 			w.blockOff = 0
 			avail = BlockSize
@@ -104,6 +106,7 @@ func (w *Writer) Append(rec []byte) error {
 			return err
 		}
 		w.blockOff += headerSize + len(frag)
+		w.written += int64(headerSize + len(frag))
 
 		if last {
 			if w.syncEvery {
@@ -117,6 +120,10 @@ func (w *Writer) Append(rec []byte) error {
 
 // Sync flushes the log to stable storage.
 func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Offset reports the bytes written to this log so far, including
+// fragment headers and block padding.
+func (w *Writer) Offset() int64 { return w.written }
 
 // Reader replays records from a log file.
 type Reader struct {

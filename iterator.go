@@ -16,6 +16,7 @@ import (
 //
 // Key and Value return copies safe to retain.
 type Iterator struct {
+	db       *DB
 	in       iterator.Iterator
 	snap     kv.Seq
 	key      []byte
@@ -38,23 +39,29 @@ func (db *DB) NewIterator() *Iterator {
 	db.mu.Unlock()
 	kids = append(kids, db.eng.NewIter())
 	return &Iterator{
+		db:   db,
 		in:   iterator.NewMerging(kv.CompareInternal, kids...),
 		snap: snap,
 	}
 }
 
-// First positions at the smallest live key.
+// First positions at the smallest live key.  Positioning latency
+// (First and Seek) feeds the DB's scan histogram.
 func (it *Iterator) First() {
+	start := it.db.clock.Now()
 	it.backward = false
 	it.in.First()
 	it.advance(nil)
+	it.db.scanHist.Record(it.db.clock.Now() - start)
 }
 
 // Seek positions at the first live key >= ukey.
 func (it *Iterator) Seek(ukey []byte) {
+	start := it.db.clock.Now()
 	it.backward = false
 	it.in.Seek(kv.MakeInternalKey(ukey, it.snap, kv.KindSet))
 	it.advance(nil)
+	it.db.scanHist.Record(it.db.clock.Now() - start)
 }
 
 // Next advances past the current key to the next live key.

@@ -1,0 +1,180 @@
+package iamdb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"iamdb/internal/engine"
+	"iamdb/internal/histogram"
+	"iamdb/internal/vfs"
+)
+
+// wallClock is the default Clock: real monotonic time since Open.
+// It lives in the public package, outside the iamlint determinism
+// scope, so the internal packages never read the wall clock directly.
+type wallClock struct {
+	base time.Time
+}
+
+func newWallClock() wallClock { return wallClock{base: time.Now()} }
+
+// Now implements Clock.
+func (c wallClock) Now() time.Duration { return time.Since(c.base) }
+
+// Metrics is a unified snapshot of the DB's observable state: per-level
+// structure and traffic, memtable/WAL/cache state, device IO, write
+// stalls, and operation latency histograms.
+type Metrics struct {
+	// Engine holds per-level traffic and operation counts.
+	Engine engine.StatsSnapshot
+	// Levels summarizes the current tree shape.
+	Levels []engine.LevelInfo
+	// SpaceUsed is the on-disk footprint in bytes (excluding WAL).
+	SpaceUsed int64
+	// UserBytes is the total key+value bytes written by the user.
+	UserBytes int64
+	// CacheHitRate is the block-cache hit fraction since open.
+	CacheHitRate float64
+
+	// MemtableBytes is the approximate size of the mutable memtable.
+	MemtableBytes int64
+	// ImmutableMemtables counts memtables waiting to flush (0 or 1).
+	ImmutableMemtables int
+	// WALNum is the current write-ahead log file number.
+	WALNum uint64
+	// WALBytes is the total bytes appended to all WAL files since
+	// open, including record headers and block padding.
+	WALBytes int64
+	// WALRotations counts WAL file rotations since open.
+	WALRotations int64
+
+	// IO is the device traffic since open (data files, manifest, and
+	// WAL together).
+	IO vfs.IOSnapshot
+
+	// StallCount counts write stalls imposed on the commit path, and
+	// StallTime is their cumulative duration.
+	StallCount int64
+	StallTime  time.Duration
+
+	// Put, Get and Scan are operation latency digests (put covers the
+	// whole batch commit, stall time included; scan covers iterator
+	// positioning).
+	Put  histogram.Summary
+	Get  histogram.Summary
+	Scan histogram.Summary
+}
+
+// WriteAmplification is total compaction writes over user writes,
+// excluding the WAL, as the paper computes it (Sec. 6.2).
+func (m Metrics) WriteAmplification() float64 {
+	if m.UserBytes == 0 {
+		return 0
+	}
+	return float64(m.Engine.TotalFlushBytes()) / float64(m.UserBytes)
+}
+
+// Metrics returns a snapshot of the DB's statistics.
+func (db *DB) Metrics() Metrics {
+	db.mu.Lock()
+	user := db.userBytes
+	memBytes := db.mem.ApproximateSize()
+	imm := 0
+	if db.imm != nil {
+		imm = 1
+	}
+	walNum := db.walNum
+	walBytes := db.walRetired
+	if db.walW != nil {
+		walBytes += db.walW.Offset()
+	}
+	db.mu.Unlock()
+	rate, _, _ := db.cache.HitRate()
+	return Metrics{
+		Engine:             db.eng.Stats(),
+		Levels:             db.eng.Levels(),
+		SpaceUsed:          db.eng.SpaceUsed(),
+		UserBytes:          user,
+		CacheHitRate:       rate,
+		MemtableBytes:      memBytes,
+		ImmutableMemtables: imm,
+		WALNum:             walNum,
+		WALBytes:           walBytes,
+		WALRotations:       db.walRotations.Load(),
+		IO:                 db.io.Snapshot(),
+		StallCount:         db.stallCount.Load(),
+		StallTime:          time.Duration(db.stallNanos.Load()),
+		Put:                db.putHist.Summary(),
+		Get:                db.getHist.Summary(),
+		Scan:               db.scanHist.Summary(),
+	}
+}
+
+func mb(n int64) float64 { return float64(n) / (1 << 20) }
+
+// String renders the snapshot as a LevelDB-`leveldb.stats`-style
+// report: one row per level plus totals and summary lines.
+func (m Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Level | Files  Seqs  Size(MB) | Write(MB)  Read(MB) | Appends  Merges  Moves  Splits  Combines\n")
+	fmt.Fprintf(&b, "------+------------------------+----------------------+-----------------------------------------\n")
+
+	// Rows span the union of the shape (Levels) and traffic (PerLevel)
+	// views: a drained level keeps its traffic history.
+	rows := len(m.Engine.PerLevel)
+	byLevel := make(map[int]engine.LevelInfo, len(m.Levels))
+	for _, li := range m.Levels {
+		byLevel[li.Level] = li
+		if li.Level+1 > rows {
+			rows = li.Level + 1
+		}
+	}
+	var totInfo engine.LevelInfo
+	var totStats engine.LevelStats
+	for lvl := 0; lvl < rows; lvl++ {
+		info := byLevel[lvl]
+		var ls engine.LevelStats
+		if lvl < len(m.Engine.PerLevel) {
+			ls = m.Engine.PerLevel[lvl]
+		}
+		if info.Nodes == 0 && info.Bytes == 0 && ls == (engine.LevelStats{}) {
+			continue
+		}
+		fmt.Fprintf(&b, "%5d | %5d %5d %9.1f | %9.1f %9.1f | %7d %7d %6d %7d %9d\n",
+			lvl, info.Nodes, info.Seqs, mb(info.Bytes),
+			mb(ls.WriteBytes), mb(ls.ReadBytes),
+			ls.Appends, ls.Merges, ls.Moves, ls.Splits, ls.Combines)
+		totInfo.Nodes += info.Nodes
+		totInfo.Seqs += info.Seqs
+		totInfo.Bytes += info.Bytes
+		totStats.WriteBytes += ls.WriteBytes
+		totStats.ReadBytes += ls.ReadBytes
+		totStats.Appends += ls.Appends
+		totStats.Merges += ls.Merges
+		totStats.Moves += ls.Moves
+		totStats.Splits += ls.Splits
+		totStats.Combines += ls.Combines
+	}
+	fmt.Fprintf(&b, "total | %5d %5d %9.1f | %9.1f %9.1f | %7d %7d %6d %7d %9d\n",
+		totInfo.Nodes, totInfo.Seqs, mb(totInfo.Bytes),
+		mb(totStats.WriteBytes), mb(totStats.ReadBytes),
+		totStats.Appends, totStats.Merges, totStats.Moves, totStats.Splits, totStats.Combines)
+
+	fmt.Fprintf(&b, "Flushes: %d  UserWrite(MB): %.1f  WriteAmp: %.2f  SpaceUsed(MB): %.1f\n",
+		m.Engine.Flushes, mb(m.UserBytes), m.WriteAmplification(), mb(m.SpaceUsed))
+	fmt.Fprintf(&b, "Memtable: %.1f MB (+%d immutable)  WAL: file %06d, %.1f MB written, %d rotations\n",
+		mb(m.MemtableBytes), m.ImmutableMemtables, m.WALNum, mb(m.WALBytes), m.WALRotations)
+	fmt.Fprintf(&b, "Block cache hit rate: %.1f%%\n", 100*m.CacheHitRate)
+	fmt.Fprintf(&b, "Write stalls: %d, total %v\n", m.StallCount, m.StallTime)
+	fmt.Fprintf(&b, "Device IO: %.1f MB written (%d ops), %.1f MB read (%d ops), %d seeks\n",
+		mb(m.IO.BytesWritten), m.IO.WriteOps, mb(m.IO.BytesRead), m.IO.ReadOps, m.IO.Seeks)
+	for _, h := range []struct {
+		name string
+		s    histogram.Summary
+	}{{"put", m.Put}, {"get", m.Get}, {"scan", m.Scan}} {
+		fmt.Fprintf(&b, "Latency %-4s n=%d  mean=%v  p50=%v  p99=%v  max=%v\n",
+			h.name, h.s.Count, h.s.Mean, h.s.P50, h.s.P99, h.s.Max)
+	}
+	return b.String()
+}

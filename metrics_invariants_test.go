@@ -1,0 +1,53 @@
+//go:build invariants
+
+package iamdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestMetricsSmoke exercises the whole observability layer with the
+// invariants build tag on: a workload on every engine, then a snapshot
+// whose counters must be internally coherent and whose rendering must
+// contain the per-level table.
+func TestMetricsSmoke(t *testing.T) {
+	for _, e := range allEngines {
+		t.Run(e.String(), func(t *testing.T) {
+			db := openSmall(t, e)
+			defer db.Close()
+			val := make([]byte, 200)
+			for i := 0; i < 1500; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%05d", i*7919%1500)), val); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < 50; i++ {
+				if _, err := db.Get([]byte(fmt.Sprintf("key-%05d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := db.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+			m := db.Metrics()
+			if m.Engine.Flushes <= 0 || m.UserBytes <= 0 || m.SpaceUsed <= 0 {
+				t.Fatalf("implausible snapshot: flushes=%d user=%d space=%d",
+					m.Engine.Flushes, m.UserBytes, m.SpaceUsed)
+			}
+			if m.Put.Count != 1500 || m.Get.Count != 50 {
+				t.Fatalf("latency counts: put=%d get=%d", m.Put.Count, m.Get.Count)
+			}
+			if m.WALBytes < m.UserBytes {
+				t.Fatalf("WAL %d smaller than user bytes %d", m.WALBytes, m.UserBytes)
+			}
+			s := m.String()
+			for _, want := range []string{"Level | Files", "total |", "Flushes:", "Latency put"} {
+				if !strings.Contains(s, want) {
+					t.Fatalf("String() missing %q:\n%s", want, s)
+				}
+			}
+		})
+	}
+}

@@ -1,8 +1,52 @@
 package iamdb
 
 import (
+	"iamdb/internal/metrics"
 	"iamdb/internal/vfs"
 )
+
+// EventListener receives structured notifications about the DB's
+// internal activity: flushes, appends, merges, moves, splits,
+// combines, WAL rotations, manifest edits, table lifecycle, and write
+// stalls.  All callbacks are optional (nil fields become no-ops) and
+// run synchronously on DB goroutines, often with locks held — they
+// must not call back into the DB and should return quickly.
+//
+// It is an alias of the internal metrics type so the engines can fire
+// events without importing the public package.
+type EventListener = metrics.EventListener
+
+// Event payload types carried by EventListener callbacks.
+type (
+	FlushInfo        = metrics.FlushInfo
+	AppendInfo       = metrics.AppendInfo
+	MergeInfo        = metrics.MergeInfo
+	MoveInfo         = metrics.MoveInfo
+	SplitInfo        = metrics.SplitInfo
+	CombineInfo      = metrics.CombineInfo
+	WALRotationInfo  = metrics.WALRotationInfo
+	ManifestEditInfo = metrics.ManifestEditInfo
+	TableInfo        = metrics.TableInfo
+	StallInfo        = metrics.StallInfo
+)
+
+// Clock is the monotonic time source used for event durations and
+// latency histograms: Now reports elapsed time since an arbitrary
+// fixed epoch.  The default measures real monotonic time; the bench
+// harness injects the virtual disk clock so latencies are measured in
+// simulated device time.
+type Clock = metrics.Clock
+
+// NewLoggingListener returns an EventListener that formats every event
+// as one line through logf (e.g. log.Printf or t.Logf).
+func NewLoggingListener(logf func(format string, args ...any)) *EventListener {
+	return metrics.NewLoggingListener(logf)
+}
+
+// TeeListener fans every event out to each listener in order.
+func TeeListener(ls ...*EventListener) *EventListener {
+	return metrics.TeeListener(ls...)
+}
 
 // EngineKind selects the storage tree backing a DB.
 type EngineKind int
@@ -93,6 +137,15 @@ type Options struct {
 	// Off by default, matching the paper's experimental setup
 	// (Sec. 6.1: "data compression is turned off").
 	Compression bool
+
+	// EventListener receives structured event notifications.  Nil
+	// installs no-op listeners, which add no allocations to the hot
+	// path.
+	EventListener *EventListener
+
+	// Clock is the monotonic time source for event durations and the
+	// latency histograms in Metrics.  Nil means real monotonic time.
+	Clock Clock
 }
 
 func (o *Options) withDefaults() Options {

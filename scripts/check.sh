@@ -32,6 +32,14 @@ echo "== go build -tags invariants"
 go build -tags invariants ./...
 go test -tags invariants ./internal/invariants/
 
+echo "== metrics smoke test (-tags invariants)"
+go test -tags invariants -run TestMetricsSmoke -count=1 .
+
+echo "== hot-path allocation gate"
+# A disabled EventListener must add zero allocations per op to Get/Put.
+go test -run 'TestInstrumentationZeroAlloc|TestHotPathAllocations' -count=1 .
+go test -run TestConcurrentZeroAlloc -count=1 ./internal/histogram/
+
 echo "== go test -race"
 # The harness simulations exceed go test's default 10-minute timeout
 # under the race detector's ~10x slowdown; give them room.

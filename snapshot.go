@@ -79,6 +79,7 @@ func (s *Snapshot) NewIterator() *Iterator {
 	db.mu.Unlock()
 	kids = append(kids, db.eng.NewIter())
 	return &Iterator{
+		db:   db,
 		in:   iterator.NewMerging(kv.CompareInternal, kids...),
 		snap: s.seq,
 	}
