@@ -17,6 +17,14 @@ import (
 // The copy runs with background compaction quiesced (it holds the
 // write path only long enough to flush the current memtable), so it is
 // safe on a live DB.
+//
+// Commit protocol: tables and logs are copied (each synced) first, the
+// manifest last — built under a temporary name and renamed into place.
+// Opening a directory requires its MANIFEST, so a checkpoint that
+// failed or crashed partway can never be mistaken for a valid
+// database: the destination either has no manifest at all, or a fully
+// synced one whose referenced files were already durable when it
+// appeared.
 func (db *DB) Checkpoint(dstDir string) error {
 	db.mu.Lock()
 	if db.closed {
@@ -43,15 +51,36 @@ func (db *DB) Checkpoint(dstDir string) error {
 	if err != nil {
 		return err
 	}
+	var tables, logs []string
+	haveManifest := false
 	for _, name := range names {
-		if !strings.HasSuffix(name, ".mst") &&
-			!strings.HasSuffix(name, ".log") &&
-			name != "MANIFEST" {
-			continue
+		switch {
+		case strings.HasSuffix(name, ".mst"):
+			tables = append(tables, name)
+		case strings.HasSuffix(name, ".log"):
+			logs = append(logs, name)
+		case name == "MANIFEST":
+			haveManifest = true
 		}
+	}
+	if !haveManifest {
+		return fmt.Errorf("iamdb: checkpoint source %s has no manifest", db.dir)
+	}
+	// Data before metadata: every file the manifest will reference must
+	// be durable before the manifest exists at the destination.
+	for _, name := range append(append([]string(nil), tables...), logs...) {
 		if err := copyFile(db.fs, db.dir+"/"+name, dstDir+"/"+name); err != nil {
 			return fmt.Errorf("iamdb: checkpoint %s: %w", name, err)
 		}
+	}
+	tmp := dstDir + "/MANIFEST.ckpt"
+	if err := copyFile(db.fs, db.dir+"/MANIFEST", tmp); err != nil {
+		_ = db.fs.Remove(tmp)
+		return fmt.Errorf("iamdb: checkpoint MANIFEST: %w", err)
+	}
+	if err := db.fs.Rename(tmp, dstDir+"/MANIFEST"); err != nil {
+		_ = db.fs.Remove(tmp)
+		return fmt.Errorf("iamdb: checkpoint MANIFEST: %w", err)
 	}
 	return nil
 }

@@ -59,3 +59,59 @@ func TestCheckpointRefusesExistingDB(t *testing.T) {
 		t.Fatal("checkpoint over an existing database must fail")
 	}
 }
+
+// TestCheckpointFailureLeavesNoManifest injects a fault at every
+// destination-write index in turn and checks the commit protocol: a
+// checkpoint that did not return success must never leave a MANIFEST
+// at the destination, so a partial copy can never be opened as a valid
+// database.
+func TestCheckpointFailureLeavesNoManifest(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem)
+	db, err := Open("db", smallOpts(IAM, ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%05d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sawFailure := false
+	for n := 0; ; n++ {
+		dst := fmt.Sprintf("ckpt%03d", n)
+		// Scope the fault to the destination so the live DB (whose own
+		// background work shares the filesystem) is unaffected.
+		ffs.FailAfterPath(vfs.FaultWrite, dst+"/", n)
+		err := db.Checkpoint(dst)
+		ffs.Clear()
+		if err == nil {
+			if !sawFailure {
+				t.Fatal("fault never fired; test exercised nothing")
+			}
+			break // fault index walked past the last destination write
+		}
+		sawFailure = true
+		// No MANIFEST means no reader can mistake the partial copy for
+		// a database: Open on the directory would start from scratch
+		// rather than trust half-copied state.
+		if mem.Exists(dst + "/MANIFEST") {
+			t.Fatalf("failed checkpoint (fault at write %d) left a MANIFEST", n)
+		}
+		if n > 10000 {
+			t.Fatal("fault index never walked past the checkpoint's writes")
+		}
+	}
+
+	// Sync faults on the manifest copy must also leave no MANIFEST.
+	dst := "ckpt-sync"
+	ffs.FailAfterPath(vfs.FaultSync, dst+"/MANIFEST", 0)
+	if err := db.Checkpoint(dst); err == nil {
+		t.Fatal("checkpoint with failing manifest sync must error")
+	}
+	ffs.Clear()
+	if mem.Exists(dst + "/MANIFEST") {
+		t.Fatal("failed manifest sync left a MANIFEST at the destination")
+	}
+}

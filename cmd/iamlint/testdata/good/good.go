@@ -61,6 +61,14 @@ func deferredCleanup(f vfs.File) error {
 	return f.Sync()
 }
 
+func retriedSync(f vfs.File) error {
+	return vfs.Retry(3, nil, f.Sync) // handled: the caller sees the error
+}
+
+func retriedBestEffort(f vfs.File) {
+	_ = vfs.Retry(3, nil, f.Sync) // explicit discard is the sanctioned form
+}
+
 func (s *store) copyBeforeRetain(it *iter) {
 	s.dst = append(s.dst[:0], it.Key()...) // ellipsis append copies
 	k := it.Value()                        // locals are fine

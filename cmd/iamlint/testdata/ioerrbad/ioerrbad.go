@@ -16,6 +16,10 @@ func dropSync(f vfs.File) {
 	f.Sync() // want [ioerr] error result of vfs.Sync is discarded
 }
 
+func dropRetry(f vfs.File) {
+	vfs.Retry(3, nil, f.Sync) // want [ioerr] error result of vfs.Retry is discarded
+}
+
 func handled(fs vfs.FS, name string) error {
 	return fs.Remove(name)
 }

@@ -1,0 +1,110 @@
+package iamdb_test
+
+import (
+	"os"
+	"sort"
+	"testing"
+
+	"iamdb"
+	"iamdb/internal/harness"
+	"iamdb/internal/vfs"
+)
+
+// TestCrashMatrix is the systematic crash-point exploration: for each
+// engine it calibrates the scripted workload's filesystem-operation
+// landscape, then crashes at every sync boundary (downsampled to a
+// budget) plus evenly-strided write indices, recovering and checking
+// the oracle each time.  Torn- and bit-flip-tail variants run on a
+// subset of the same points.
+//
+// The bounded default keeps `go test -run Crash` in seconds; set
+// IAMDB_CRASH_FULL=1 for the exhaustive sweep (every operation index,
+// all four engines, all three crash modes).
+func TestCrashMatrix(t *testing.T) {
+	full := os.Getenv("IAMDB_CRASH_FULL") != ""
+	engines := []iamdb.EngineKind{iamdb.IAM, iamdb.LSA}
+	if full {
+		engines = append(engines, iamdb.LevelDB, iamdb.RocksDB)
+	}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			w := harness.CrashWorkload{Engine: eng}
+			cal, err := w.Calibrate()
+			if err != nil {
+				t.Fatalf("calibrate: %v", err)
+			}
+			if cal.OpCount < 200 || len(cal.SyncPoints) < 50 {
+				t.Fatalf("workload too small to explore: %d ops, %d sync points",
+					cal.OpCount, len(cal.SyncPoints))
+			}
+
+			var points []int64
+			if full {
+				for i := int64(0); i <= cal.OpCount; i++ {
+					points = append(points, i)
+				}
+			} else {
+				points = pickPoints(cal, 80, 48)
+			}
+			if len(points) < 100 {
+				t.Fatalf("only %d distinct crash points; want >= 100", len(points))
+			}
+			for _, p := range points {
+				if err := w.Trial(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			for _, md := range []struct {
+				name string
+				mode vfs.CrashMode
+			}{{"Torn", vfs.CrashTorn}, {"Flip", vfs.CrashFlip}} {
+				md := md
+				t.Run(md.name, func(t *testing.T) {
+					wm := w
+					wm.Mode = md.mode
+					sub := points
+					if !full {
+						sub = pickPoints(cal, 14, 8)
+					}
+					for _, p := range sub {
+						if err := wm.Trial(p); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// pickPoints selects crash points from a calibration: the sync
+// boundaries downsampled to at most syncCap, plus strided mutating-op
+// indices so crashes also land mid-write, between durability points.
+func pickPoints(cal harness.CrashCalibration, syncCap, strided int) []int64 {
+	set := make(map[int64]bool)
+	sp := cal.SyncPoints
+	step := 1
+	if syncCap > 0 && len(sp) > syncCap {
+		step = len(sp) / syncCap
+	}
+	for i := 0; i < len(sp); i += step {
+		set[sp[i]] = true
+	}
+	if strided > 0 {
+		st := cal.OpCount / int64(strided)
+		if st == 0 {
+			st = 1
+		}
+		for i := int64(1); i < cal.OpCount; i += st {
+			set[i] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"iamdb/internal/cache"
 	"iamdb/internal/core"
@@ -40,7 +41,30 @@ var (
 	ErrNotFound = errors.New("iamdb: not found")
 	// ErrClosed reports use of a closed DB.
 	ErrClosed = errors.New("iamdb: closed")
+	// ErrReadOnly reports that the DB degraded to read-only mode after
+	// repeated background failures.  Reads still work; writes fail with
+	// an error wrapping both ErrReadOnly and the background cause.  The
+	// DB heals automatically once a background retry succeeds, or
+	// explicitly via Resume.
+	ErrReadOnly = errors.New("iamdb: read-only (background error)")
 )
+
+// BackgroundError is the error recorded when background flush or
+// compaction work fails.  It wraps the underlying cause, so
+// errors.Is/As see through it.
+type BackgroundError struct {
+	// Op names the failed operation ("flush" or "compact").
+	Op string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *BackgroundError) Error() string {
+	return fmt.Sprintf("iamdb: background %s: %v", e.Op, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *BackgroundError) Unwrap() error { return e.Err }
 
 // metaEngine is the extra contract both engines provide beyond
 // engine.Engine: durable WAL position tracking.
@@ -85,7 +109,14 @@ type DB struct {
 	walRetired int64 // bytes in WAL files already rotated out
 	snaps      map[kv.Seq]int
 	closed     bool
-	bgErr      error
+	bgErr      error // last background failure (*BackgroundError), nil when healthy
+	readonly   bool  // degraded: writes rejected until a retry succeeds
+	bgFails    int   // consecutive background failures
+	bgErrSince int64 // clock nanos when bgErr was first latched
+
+	bgRetries   *metrics.Counter
+	bgReadonly  *metrics.Counter
+	bgHealNanos *metrics.Counter
 
 	flushC   chan struct{}
 	compactC chan struct{}
@@ -132,6 +163,9 @@ func Open(dir string, opt *Options) (*DB, error) {
 	db.stallCount = db.reg.Counter("stall.count")
 	db.stallNanos = db.reg.Counter("stall.nanos")
 	db.walRotations = db.reg.Counter("wal.rotations")
+	db.bgRetries = db.reg.Counter("bg.retries")
+	db.bgReadonly = db.reg.Counter("bg.readonly")
+	db.bgHealNanos = db.reg.Counter("bg.heal.nanos")
 	db.cond = sync.NewCond(&db.mu)
 	if err := db.fs.MkdirAll(dir); err != nil {
 		return nil, err
@@ -318,7 +352,7 @@ func (db *DB) write(b *Batch) error {
 	db.throttle()
 
 	db.mu.Lock()
-	for !db.closed && db.bgErr == nil && db.imm != nil &&
+	for !db.closed && !db.readonly && db.imm != nil &&
 		db.mem.ApproximateSize() >= db.opt.MemtableSize {
 		db.cond.Wait() // both memtables full: wait for the flusher
 	}
@@ -326,8 +360,9 @@ func (db *DB) write(b *Batch) error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	if db.bgErr != nil {
-		err := db.bgErr
+	if db.readonly {
+		// Join keeps both the mode and the cause visible to errors.Is.
+		err := errors.Join(ErrReadOnly, db.bgErr)
 		db.mu.Unlock()
 		return err
 	}
@@ -428,6 +463,75 @@ func (db *DB) rotateLocked() error {
 	return nil
 }
 
+// noteBgError records one failed background attempt: it latches the
+// error, counts the retry, degrades to read-only after BgRetryLimit
+// consecutive failures, asks the engine to Resume (rewrite its
+// manifest so half-applied edits are superseded before the retry), and
+// applies the backoff policy.  It reports whether the worker should
+// retry; false means the DB is closing or the backoff abandoned the
+// loop (the worker goes back to waiting for a kick).
+func (db *DB) noteBgError(op string, err error) bool {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return false
+	}
+	if db.bgErr == nil {
+		db.bgErrSince = int64(db.clock.Now())
+	}
+	db.bgErr = &BackgroundError{Op: op, Err: err}
+	db.bgFails++
+	try := db.bgFails
+	db.bgRetries.Inc()
+	enteredRO := false
+	if !db.readonly && try > db.opt.BgRetryLimit {
+		db.readonly = true
+		enteredRO = true
+		db.bgReadonly.Inc()
+	}
+	cause := db.bgErr
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.events.BackgroundError(metrics.BackgroundErrorInfo{Op: op, Err: err, Retries: try})
+	if enteredRO {
+		db.events.ReadOnlyEnter(metrics.ReadOnlyInfo{Cause: cause})
+	}
+	if r, ok := db.eng.(engine.Resumer); ok {
+		// Best-effort: a failed Resume is retried with the work itself.
+		_ = r.Resume()
+	}
+	if db.opt.BgBackoff != nil {
+		return db.opt.BgBackoff(try)
+	}
+	d := time.Millisecond << uint(min(try, 7))
+	select {
+	case <-db.quit:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// noteBgSuccess clears background-error state after a successful
+// attempt, leaving read-only mode and recording the heal duration.
+func (db *DB) noteBgSuccess() {
+	db.mu.Lock()
+	if db.bgErr == nil && !db.readonly {
+		db.mu.Unlock()
+		return
+	}
+	cause := db.bgErr
+	wasRO := db.readonly
+	heal := int64(db.clock.Now()) - db.bgErrSince
+	db.bgErr, db.readonly, db.bgFails = nil, false, 0
+	db.bgHealNanos.Add(heal)
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	if wasRO {
+		db.events.ReadOnlyExit(metrics.ReadOnlyInfo{Cause: cause, Duration: time.Duration(heal)})
+	}
+}
+
 func (db *DB) flushWorker() {
 	defer db.wg.Done()
 	for {
@@ -436,38 +540,51 @@ func (db *DB) flushWorker() {
 			return
 		case <-db.flushC:
 		}
-		for {
-			db.mu.Lock()
-			imm := db.imm
-			immWal := db.immWalNum
-			immSeq := db.immLastSeq
-			curWal := db.walNum
-			db.mu.Unlock()
-			if imm == nil {
-				break
-			}
-			err := db.eng.Flush(imm.NewIter())
-			if err == nil {
-				err = db.eng.SetLogMeta(immSeq, curWal)
-			}
-			db.mu.Lock()
-			if err != nil {
-				db.bgErr = err
-			} else {
-				db.imm = nil
-				// The flushed log is re-deleted on next recovery if this
-				// best-effort removal fails.
-				_ = db.fs.Remove(logName(db.dir, immWal))
-			}
-			db.cond.Broadcast()
-			db.mu.Unlock()
-			if err != nil {
+		db.drainImm()
+	}
+}
+
+// drainImm flushes the immutable memtable, retrying failures until it
+// succeeds, the backoff abandons, or the DB closes.  The worker never
+// exits on error: a healed DB resumes without reopening.
+func (db *DB) drainImm() {
+	flushed := false // the Flush itself succeeded; only SetLogMeta remains
+	for {
+		db.mu.Lock()
+		imm := db.imm
+		immWal := db.immWalNum
+		immSeq := db.immLastSeq
+		curWal := db.walNum
+		db.mu.Unlock()
+		if imm == nil {
+			return
+		}
+		var err error
+		if !flushed {
+			err = db.eng.Flush(imm.NewIter())
+		}
+		if err == nil {
+			flushed = true
+			err = db.eng.SetLogMeta(immSeq, curWal)
+		}
+		if err != nil {
+			if !db.noteBgError("flush", err) {
 				return
 			}
-			select {
-			case db.compactC <- struct{}{}:
-			default:
-			}
+			continue
+		}
+		db.noteBgSuccess()
+		flushed = false
+		db.mu.Lock()
+		db.imm = nil
+		db.cond.Broadcast()
+		db.mu.Unlock()
+		// The flushed log is re-deleted on next recovery if this
+		// best-effort removal fails.
+		_ = db.fs.Remove(logName(db.dir, immWal))
+		select {
+		case db.compactC <- struct{}{}:
+		default:
 		}
 	}
 }
@@ -477,13 +594,17 @@ func (db *DB) compactWorker() {
 	for {
 		did, err := db.eng.WorkStep()
 		if err != nil {
-			db.mu.Lock()
-			db.bgErr = err
-			db.cond.Broadcast()
-			db.mu.Unlock()
-			return
+			if !db.noteBgError("compact", err) {
+				select {
+				case <-db.quit:
+					return
+				case <-db.compactC:
+				}
+			}
+			continue
 		}
 		if did {
+			db.noteBgSuccess()
 			continue
 		}
 		select {
@@ -492,6 +613,45 @@ func (db *DB) compactWorker() {
 		case <-db.compactC:
 		}
 	}
+}
+
+// Resume clears background-error state once the operator believes the
+// underlying fault is gone: the engine rewrites its manifest, the DB
+// leaves read-only mode, and the background workers are kicked.  The
+// DB also heals itself when a background retry succeeds; Resume just
+// forces the attempt now.
+func (db *DB) Resume() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.mu.Unlock()
+	if r, ok := db.eng.(engine.Resumer); ok {
+		if err := r.Resume(); err != nil {
+			return err
+		}
+	}
+	db.noteBgSuccess()
+	select {
+	case db.flushC <- struct{}{}:
+	default:
+	}
+	select {
+	case db.compactC <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// CheckInvariants asks the engine to validate its structural
+// invariants (crash-recovery tests use it as an oracle); engines
+// without a checker report nil.
+func (db *DB) CheckInvariants() error {
+	if c, ok := db.eng.(engine.Checker); ok {
+		return c.CheckInvariants()
+	}
+	return nil
 }
 
 // Get returns the value for key, or ErrNotFound.
@@ -566,11 +726,15 @@ func (db *DB) CompactAll() error {
 		return ErrClosed
 	}
 	// Wait out any in-flight background flush.
-	for db.imm != nil && db.bgErr == nil {
+	for db.imm != nil && !db.closed && !db.readonly {
 		db.cond.Wait()
 	}
-	if db.bgErr != nil {
-		err := db.bgErr
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.readonly {
+		err := errors.Join(ErrReadOnly, db.bgErr)
 		db.mu.Unlock()
 		return err
 	}
@@ -605,11 +769,15 @@ func (db *DB) Flush() error {
 		db.mu.Unlock()
 		return ErrClosed
 	}
-	for db.imm != nil && db.bgErr == nil {
+	for db.imm != nil && !db.closed && !db.readonly {
 		db.cond.Wait()
 	}
-	if db.bgErr != nil {
-		err := db.bgErr
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.readonly {
+		err := errors.Join(ErrReadOnly, db.bgErr)
 		db.mu.Unlock()
 		return err
 	}

@@ -118,7 +118,11 @@ func (c *Config) fill() {
 }
 
 func (c *Config) fileCapacity() int64 {
-	return int64(float64(c.NodeCapacity) * c.CapFactor)
+	capacity := int64(float64(c.NodeCapacity) * c.CapFactor)
+	if capacity < table.MinCapacity {
+		capacity = table.MinCapacity
+	}
+	return capacity
 }
 
 // node is one on-disk tree node: an MSTable plus its assigned range,
@@ -354,9 +358,17 @@ func (t *Tree) newTableCap(capacity int64) (*table.Table, uint64, error) {
 	return tbl, num, nil
 }
 
-// deleteNode removes a node's file; the table handle closes when the
-// last reader releases it.  Caller holds Tree.mu.
-func (t *Tree) deleteNode(nd *node) {
+// deleteNode drops a node from the in-memory structure; the table
+// handle closes when the last reader releases it.  removeFile also
+// deletes the on-disk file — callers pass true only after the manifest
+// edit that stops referencing the node is durable, because a crash
+// between a durable remove and an unsynced delete-edit would leave the
+// manifest naming a missing file and the tree unopenable.  When the
+// edit failed, the file is kept (an orphan wastes space but cannot be
+// resurrected — recovery only loads files named by the manifest — and
+// Resume rewrites the manifest from memory anyway).  Caller holds
+// Tree.mu.
+func (t *Tree) deleteNode(nd *node, removeFile bool) {
 	t.cfg.Events.TableDeleted(metrics.TableInfo{FileNum: nd.num, Level: -1, Bytes: nd.dataSize()})
 	nd.tbl.EvictBlocks()
 	nd.refs--
@@ -366,9 +378,34 @@ func (t *Tree) deleteNode(nd *node) {
 	if nd.refs == 0 {
 		_ = nd.tbl.Close()
 	}
-	// Best-effort: an orphaned table file wastes space but cannot be
-	// resurrected — recovery only loads files named by the manifest.
-	_ = t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, nd.num))
+	if removeFile {
+		_ = t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, nd.num))
+	}
+}
+
+// Resume implements engine.Resumer: it rewrites the manifest from the
+// in-memory state, healing any divergence left by a failed or torn
+// manifest append.  The new manifest is built beside the old one and
+// renamed into place, so a crash mid-resume leaves the old (consistent)
+// manifest in force.
+func (t *Tree) Resume() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	manPath := t.cfg.Dir + "/" + manifestName
+	man, err := manifest.Create(t.cfg.FS, manPath+".tmp", t.snapshotState())
+	if err != nil {
+		return err
+	}
+	if err := t.cfg.FS.Rename(manPath+".tmp", manPath); err != nil {
+		_ = man.Close()
+		return err
+	}
+	old := t.man
+	t.man = man
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
 }
 
 // SetHorizon implements engine.Engine.

@@ -187,8 +187,9 @@ func (t *Tree) flushNode(i int, x *node, destroy bool) error {
 	if destroy {
 		t.removeFromLevel(i, x)
 		edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}}}
-		t.deleteNode(x)
-		return t.logEdit(edit)
+		err := t.logEdit(edit)
+		t.deleteNode(x, err == nil)
+		return err
 	}
 	return t.emptyNode(i, x)
 }
@@ -211,16 +212,25 @@ func (t *Tree) emptyNode(i int, x *node) error {
 	if err != nil {
 		return err
 	}
+	// The fresh (empty) table must be durable before a manifest edit
+	// references it, or a crash could leave the manifest naming an
+	// unwritten file.
+	if err := tbl.Sync(); err != nil {
+		_ = tbl.Close()
+		_ = t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, num))
+		return err
+	}
 	fresh := &node{num: num, tbl: tbl, rng: x.rng, refs: 1}
 	t.removeFromLevel(i, x)
 	t.addToLevel(i, fresh)
-	t.deleteNode(x)
 	t.shrinkRange(i, fresh)
-	return t.logEdit(&manifest.Edit{
+	err = t.logEdit(&manifest.Edit{
 		Deleted:  []manifest.NodeRef{{Level: i, FileNum: x.num}},
 		Added:    []manifest.NodeRecord{t.record(i, fresh)},
 		NextFile: t.nextFile, SetNextFile: true,
 	})
+	t.deleteNode(x, err == nil)
+	return err
 }
 
 // shrinkRange narrows an empty node's range so its child count moves
@@ -414,14 +424,22 @@ func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
 	t.cfg.Events.AppendEnd(metrics.AppendInfo{Level: dst, Bytes: res.Bytes})
 	newRng := kid.rng.Union(sub.span())
 	if newRng.String() != kid.rng.String() {
+		// Widen the manifest range before syncing the data: a crash in
+		// between leaves a wide range over old data (harmless), whereas
+		// the reverse order could surface durable data outside the
+		// node's recorded range.
 		kid.rng = newRng
 		t.sortLevel(dst)
-		return t.logEdit(&manifest.Edit{
+		if err := t.logEdit(&manifest.Edit{
 			Deleted: []manifest.NodeRef{{Level: dst, FileNum: kid.num}},
 			Added:   []manifest.NodeRecord{t.record(dst, kid)},
-		})
+		}); err != nil {
+			return err
+		}
 	}
-	return nil
+	// The flush completes (and the WAL is retired) only once the
+	// appended sequence is durable.
+	return kid.tbl.Sync()
 }
 
 // mergeChild rewrites a child together with its incoming share into
@@ -450,12 +468,15 @@ func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
 	edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: dst, FileNum: kid.num}},
 		NextFile: t.nextFile, SetNextFile: true}
 	t.removeFromLevel(dst, kid)
-	t.deleteNode(kid)
 	for _, nd := range newNodes {
 		t.addToLevel(dst, nd)
 		edit.Added = append(edit.Added, t.record(dst, nd))
 	}
-	return t.logEdit(edit)
+	// The old file may only disappear once the edit dropping it is
+	// durable; see deleteNode.
+	err = t.logEdit(edit)
+	t.deleteNode(kid, err == nil)
+	return err
 }
 
 func batchBytes(b *batch) int {
@@ -522,6 +543,11 @@ func (t *Tree) writeNodesFrom(it iterator.Iterator, limit int64) ([]*node, int64
 			return nodes, total, err
 		}
 		res, err := tbl.Append(cb.iter())
+		if err == nil {
+			// New tables must be durable before any manifest edit
+			// references them (the callers log the edit right after).
+			err = tbl.Sync()
+		}
 		if err != nil {
 			// Error-path cleanup of a half-written table: the append
 			// failure is the error that matters.
@@ -598,6 +624,11 @@ func (t *Tree) splitNode(i int, x *node) error {
 			if err != nil {
 				return err
 			}
+			if err := tbl.Sync(); err != nil {
+				_ = tbl.Close()
+				_ = t.cfg.FS.Remove(engine.TableFileName(t.cfg.Dir, num))
+				return err
+			}
 			nds = []*node{{num: num, tbl: tbl, rng: part.rng, refs: 1}}
 		} else {
 			nds[0].rng = part.rng // widen to the assigned range
@@ -611,12 +642,13 @@ func (t *Tree) splitNode(i int, x *node) error {
 	edit := &manifest.Edit{Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}},
 		NextFile: t.nextFile, SetNextFile: true}
 	t.removeFromLevel(i, x)
-	t.deleteNode(x)
 	for _, nd := range newNodes {
 		t.addToLevel(i, nd)
 		edit.Added = append(edit.Added, t.record(i, nd))
 	}
-	return t.logEdit(edit)
+	err = t.logEdit(edit)
+	t.deleteNode(x, err == nil)
+	return err
 }
 
 // maintain restores the structural constraints before and after

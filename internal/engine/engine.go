@@ -308,3 +308,19 @@ func TableFileName(dir string, num uint64) string {
 type RangeSizer interface {
 	ApproximateSize(lo, hi []byte) int64
 }
+
+// Resumer is implemented by engines that can re-establish a clean
+// durable state after a background I/O error — typically by rewriting
+// the manifest from the in-memory tree so that any half-applied edit
+// sequence is superseded.  The DB layer calls Resume before retrying
+// failed background work.
+type Resumer interface {
+	Resume() error
+}
+
+// Checker is implemented by engines that can validate their own
+// structural invariants (level ordering, range containment, manifest
+// agreement).  Used by crash-recovery tests as an oracle.
+type Checker interface {
+	CheckInvariants() error
+}

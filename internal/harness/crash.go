@@ -1,0 +1,271 @@
+package harness
+
+// Systematic crash-point exploration (the crash-consistency engine's
+// test driver).  A CrashWorkload runs a deterministic scripted load
+// against a DB stacked on vfs.CrashFS, kills the filesystem at a
+// chosen operation index, reopens the store from the surviving durable
+// state, and checks the recovery oracle:
+//
+//   - every acknowledged write is present with its exact value
+//     (SyncWrites is on, so acknowledged means WAL-synced),
+//   - a write that was never acknowledged is never served — except the
+//     single operation that observed the crash, which is legitimately
+//     indeterminate (its data may have become durable just before the
+//     failure surfaced),
+//   - the reopened store passes the engine's structural invariant
+//     check and accepts new writes.
+//
+// The oracle is interleaving-independent: background flushes and
+// compactions move the crash point between runs, but acknowledged
+// durability and never-served-uncommitted hold for any schedule, so a
+// trial is sound wherever the crash actually lands.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"iamdb"
+	"iamdb/internal/vfs"
+)
+
+// crashKeyspace is the number of distinct user keys the scripted
+// workload touches; small enough that keys are overwritten and deleted
+// repeatedly, so recovery must resolve multiple versions.
+const crashKeyspace = 400
+
+// CrashWorkload describes one deterministic crash-exploration
+// scenario.
+type CrashWorkload struct {
+	// Engine picks the storage tree under test.
+	Engine iamdb.EngineKind
+	// Mode selects what happens to the last unsynced write at the
+	// crash: dropped, torn, or bit-flipped.
+	Mode vfs.CrashMode
+	// Seed fixes the scripted workload (default 1).
+	Seed int64
+	// Ops is the scripted operation count (default 400).
+	Ops int
+}
+
+func (w CrashWorkload) withDefaults() CrashWorkload {
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+	if w.Ops == 0 {
+		w.Ops = 400
+	}
+	return w
+}
+
+// CrashCalibration reports the filesystem-operation landscape of a
+// workload run to completion with no crash: how many mutating
+// operations it issues and at which indices syncs happen.  Crash
+// points are chosen from this landscape.
+type CrashCalibration struct {
+	// OpCount is the total number of mutating filesystem operations.
+	OpCount int64
+	// SyncPoints are the operation indices of Sync calls — the
+	// durability boundaries, the most interesting places to crash.
+	SyncPoints []int64
+}
+
+// openCrashDB opens a deliberately tiny DB so a few hundred operations
+// exercise WAL rotation, flushes, compaction cascades, splits and
+// merges.  The backoff abandons after a handful of attempts: after a
+// crash every retry fails, and the workers must park rather than spin.
+func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind) (*iamdb.DB, error) {
+	return iamdb.Open("db", &iamdb.Options{
+		Engine:       eng,
+		FS:           cfs,
+		MemtableSize: 2 * 1024, CacheSize: 64 * 1024,
+		MemBudget: 8 * 1024, Fanout: 4, K: 2,
+		FileSize: 4 * 1024, LevelSizeBase: 16 * 1024,
+		L0CompactTrigger: 2,
+		SyncWrites:       true,
+		BgRetryLimit:     2,
+		BgBackoff:        func(failures int) bool { return failures < 6 },
+	})
+}
+
+// oracle is the acknowledged-state model the verifier compares the
+// recovered store against.
+type oracle struct {
+	acked map[string]string // key -> last acknowledged value
+	// The operation that observed the crash is indeterminate: it was
+	// not acknowledged, but its effect may have become durable before
+	// the error surfaced (e.g. the WAL sync landed and a later
+	// filesystem call failed).
+	pendKey, pendVal string
+	pendDel, pendSet bool
+}
+
+func newOracle() *oracle {
+	return &oracle{acked: make(map[string]string)}
+}
+
+func (o *oracle) put(k, v string) { o.acked[k] = v }
+func (o *oracle) del(k string)    { delete(o.acked, k) }
+func (o *oracle) pendPut(k, v string) {
+	o.pendKey, o.pendVal, o.pendDel, o.pendSet = k, v, false, true
+}
+func (o *oracle) pendDelete(k string) {
+	o.pendKey, o.pendVal, o.pendDel, o.pendSet = k, "", true, true
+}
+
+// run executes the scripted workload: seeded-random keys over a small
+// keyspace, self-describing values encoding the operation index, a
+// delete every 17th op, and periodic read-your-writes checks.  It
+// stops at the first mutation error (the crash reaching the write
+// path), recording that operation as indeterminate.
+func (w CrashWorkload) run(db *iamdb.DB, o *oracle, cfs *vfs.CrashFS) error {
+	rng := rand.New(rand.NewSource(w.Seed))
+	for i := 0; i < w.Ops; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(crashKeyspace))
+		if i%17 == 13 {
+			if err := db.Delete([]byte(k)); err != nil {
+				o.pendDelete(k)
+				return nil
+			}
+			o.del(k)
+			continue
+		}
+		v := fmt.Sprintf("val-%06d-%s", i, k)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			o.pendPut(k, v)
+			return nil
+		}
+		o.put(k, v)
+		if i%13 == 7 {
+			got, err := db.Get([]byte(k))
+			if err != nil {
+				if cfs.Crashed() {
+					return nil // crash landed between the put and the read
+				}
+				return fmt.Errorf("mid-run get %s: %w", k, err)
+			}
+			if string(got) != v {
+				return fmt.Errorf("mid-run get %s = %q, want %q", k, got, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Calibrate runs the workload with no crash scheduled and reports the
+// operation landscape.
+func (w CrashWorkload) Calibrate() (CrashCalibration, error) {
+	w = w.withDefaults()
+	cfs := vfs.NewCrashFS(vfs.NewMemFS(), w.Mode)
+	db, err := openCrashDB(cfs, w.Engine)
+	if err != nil {
+		return CrashCalibration{}, err
+	}
+	if err := w.run(db, newOracle(), cfs); err != nil {
+		_ = db.Close()
+		return CrashCalibration{}, err
+	}
+	if err := db.Close(); err != nil {
+		return CrashCalibration{}, err
+	}
+	return CrashCalibration{OpCount: cfs.OpCount(), SyncPoints: cfs.SyncPoints()}, nil
+}
+
+// Trial runs the workload with a crash scheduled at mutating-operation
+// index crashAt, recovers, reopens, and checks the oracle.  A non-nil
+// error is an oracle violation (or an unexpected infrastructure
+// failure).  If the workload finishes before reaching crashAt, the
+// crash is forced at the end so every trial exercises recovery.
+func (w CrashWorkload) Trial(crashAt int64) error {
+	w = w.withDefaults()
+	cfs := vfs.NewCrashFS(vfs.NewMemFS(), w.Mode)
+	cfs.CrashAt(crashAt)
+	o := newOracle()
+	db, err := openCrashDB(cfs, w.Engine)
+	if err != nil {
+		if !cfs.Crashed() {
+			return fmt.Errorf("open: %w", err)
+		}
+		// Crash during the initial open: nothing was acknowledged, so
+		// the store must simply reopen cleanly (possibly empty).
+	} else {
+		if err := w.run(db, o, cfs); err != nil {
+			_ = db.Close()
+			return fmt.Errorf("crashAt=%d: %w", crashAt, err)
+		}
+		if !cfs.Crashed() {
+			cfs.Crash()
+		}
+		_ = db.Close()
+	}
+	cfs.Recover()
+	db2, err := openCrashDB(cfs, w.Engine)
+	if err != nil {
+		return fmt.Errorf("crashAt=%d: reopen: %w", crashAt, err)
+	}
+	defer db2.Close()
+	if err := w.verify(db2, o); err != nil {
+		return fmt.Errorf("crashAt=%d: %w", crashAt, err)
+	}
+	return nil
+}
+
+// legalValue reports whether the recovered state of key k (value val
+// when found=true, absent otherwise) is consistent with the oracle.
+func (o *oracle) legalValue(k string, val string, found bool) bool {
+	want, acked := o.acked[k]
+	if o.pendSet && k == o.pendKey {
+		// Old state (last acknowledged) and new state (the pending,
+		// unacknowledged op) are both legal; nothing else is.
+		oldOK := (found && acked && val == want) || (!found && !acked)
+		newOK := (o.pendDel && !found) || (!o.pendDel && found && val == o.pendVal)
+		return oldOK || newOK
+	}
+	if acked {
+		return found && val == want
+	}
+	return !found
+}
+
+// verify checks the recovered store against the oracle: point lookups
+// over the whole keyspace, a full scan, the engine's structural
+// invariants, and post-recovery writability.
+func (w CrashWorkload) verify(db *iamdb.DB, o *oracle) error {
+	for i := 0; i < crashKeyspace; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		v, err := db.Get([]byte(k))
+		found := err == nil
+		if err != nil && err != iamdb.ErrNotFound {
+			return fmt.Errorf("get %s after recovery: %w", k, err)
+		}
+		if !o.legalValue(k, string(v), found) {
+			return fmt.Errorf("oracle violation: key %s recovered as (%q, found=%v), acked %q",
+				k, v, found, o.acked[k])
+		}
+	}
+	it := db.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+		k, v := string(it.Key()), string(it.Value())
+		if !o.legalValue(k, v, true) {
+			it.Close()
+			return fmt.Errorf("oracle violation: scan surfaced %s=%q, acked %q", k, v, o.acked[k])
+		}
+	}
+	if err := it.Err(); err != nil {
+		it.Close()
+		return fmt.Errorf("scan after recovery: %w", err)
+	}
+	if err := it.Close(); err != nil {
+		return fmt.Errorf("scan close: %w", err)
+	}
+	if err := db.CheckInvariants(); err != nil {
+		return fmt.Errorf("invariants after recovery: %w", err)
+	}
+	probe := []byte("zz-post-crash-probe")
+	if err := db.Put(probe, []byte("ok")); err != nil {
+		return fmt.Errorf("put after recovery: %w", err)
+	}
+	if v, err := db.Get(probe); err != nil || string(v) != "ok" {
+		return fmt.Errorf("get after recovery: %q, %v", v, err)
+	}
+	return nil
+}

@@ -69,6 +69,11 @@ func (d *DB) writeFiles(it iterator.Iterator, limit int64) ([]*file, int64, erro
 			return files, total, err
 		}
 		res, err := tbl.Append(iterator.NewSlice(kv.CompareInternal, keys, vals))
+		if err == nil {
+			// New tables must be durable before any manifest edit
+			// references them.
+			err = tbl.Sync()
+		}
 		if err != nil {
 			// Error-path cleanup of a half-written table: the append
 			// failure is the error that matters.
@@ -242,19 +247,27 @@ func (d *DB) compactLevel(i int) error {
 	for _, f := range inputs {
 		d.removeFrom(i, f)
 		edit.Deleted = append(edit.Deleted, manifest.NodeRef{Level: i, FileNum: f.num})
-		d.deleteFile(f)
 	}
 	for _, f := range overlaps {
 		d.removeFrom(i+1, f)
 		edit.Deleted = append(edit.Deleted, manifest.NodeRef{Level: i + 1, FileNum: f.num})
-		d.deleteFile(f)
 	}
 	for _, f := range files {
 		d.levels[i+1] = append(d.levels[i+1], f)
 		edit.Added = append(edit.Added, d.record(i+1, f))
 	}
 	d.sortLevel(i + 1)
-	return d.logEdit(edit)
+	// The old files may only disappear once the edit dropping them is
+	// durable; otherwise a crash here loses data the manifest still
+	// points at.
+	err = d.logEdit(edit)
+	for _, f := range inputs {
+		d.deleteFile(f, err == nil)
+	}
+	for _, f := range overlaps {
+		d.deleteFile(f, err == nil)
+	}
+	return err
 }
 
 // isBottom reports whether no level deeper than dst holds data.

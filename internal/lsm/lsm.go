@@ -238,16 +238,71 @@ func (d *DB) unref(f *file) {
 	d.mu.Unlock()
 }
 
-func (d *DB) deleteFile(f *file) {
+// deleteFile drops a file from the in-memory structure.  removeFile
+// also deletes it on disk — callers pass true only after the manifest
+// edit dropping the file is durable, so a crash can never leave the
+// manifest naming a missing file.  On a failed edit the file is kept:
+// an orphan wastes space but cannot be resurrected — recovery only
+// loads files named by the manifest — and Resume rewrites the manifest
+// from memory anyway.
+func (d *DB) deleteFile(f *file, removeFile bool) {
 	d.cfg.Events.TableDeleted(metrics.TableInfo{FileNum: f.num, Level: -1, Bytes: f.tbl.DataSize()})
 	f.tbl.EvictBlocks()
 	f.refs--
 	if f.refs == 0 {
 		_ = f.tbl.Close()
 	}
-	// Best-effort: an orphaned table file wastes space but cannot be
-	// resurrected — recovery only loads files named by the manifest.
-	_ = d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, f.num))
+	if removeFile {
+		_ = d.cfg.FS.Remove(engine.TableFileName(d.cfg.Dir, f.num))
+	}
+}
+
+// Resume implements engine.Resumer: it rewrites the manifest from the
+// in-memory state, healing any divergence left by a failed manifest
+// append.  Built beside the old manifest and renamed into place, so a
+// crash mid-resume keeps the old one in force.
+func (d *DB) Resume() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	manPath := d.cfg.Dir + "/" + manifestName
+	man, err := manifest.Create(d.cfg.FS, manPath+".tmp", d.snapshotState())
+	if err != nil {
+		return err
+	}
+	if err := d.cfg.FS.Rename(manPath+".tmp", manPath); err != nil {
+		_ = man.Close()
+		return err
+	}
+	old := d.man
+	d.man = man
+	if old != nil {
+		_ = old.Close()
+	}
+	return nil
+}
+
+// CheckInvariants implements engine.Checker: every file's range is
+// ordered, every table file exists on disk, and levels deeper than L0
+// are sorted and disjoint.  Crash-recovery tests use it as an oracle.
+func (d *DB) CheckInvariants() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.levels {
+		var prev *file
+		for _, f := range d.levels[i] {
+			if kv.CompareUser(f.rng.Lo, f.rng.Hi) > 0 {
+				return fmt.Errorf("lsm: L%d file %d has inverted range", i, f.num)
+			}
+			if !d.cfg.FS.Exists(engine.TableFileName(d.cfg.Dir, f.num)) {
+				return fmt.Errorf("lsm: L%d file %d missing on disk", i, f.num)
+			}
+			if i > 0 && prev != nil && kv.CompareUser(prev.rng.Hi, f.rng.Lo) >= 0 {
+				return fmt.Errorf("lsm: L%d files %d and %d overlap", i, prev.num, f.num)
+			}
+			prev = f
+		}
+	}
+	return nil
 }
 
 // threshold returns level i's size threshold in bytes.

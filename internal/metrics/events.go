@@ -89,6 +89,27 @@ type StallInfo struct {
 	Duration time.Duration
 }
 
+// BackgroundErrorInfo describes one failed attempt of background
+// flush or compaction work.
+type BackgroundErrorInfo struct {
+	// Op names the failed operation ("flush" or "compact").
+	Op string
+	// Err is the underlying error.
+	Err error
+	// Retries is the consecutive-failure count including this one.
+	Retries int
+}
+
+// ReadOnlyInfo describes the DB entering or leaving read-only
+// degradation after repeated background failures.
+type ReadOnlyInfo struct {
+	// Cause is the background error that triggered the transition.
+	Cause error
+	// Duration is how long the DB spent degraded; zero in the enter
+	// event.
+	Duration time.Duration
+}
+
 // EventListener receives notifications about the engine's structural
 // activity.  All fields are optional; EnsureDefaults fills the nil
 // ones with no-ops so call sites never nil-check.  Callbacks run
@@ -107,6 +128,9 @@ type EventListener struct {
 	TableDeleted    func(TableInfo)
 	WriteStallBegin func(StallInfo)
 	WriteStallEnd   func(StallInfo)
+	BackgroundError func(BackgroundErrorInfo)
+	ReadOnlyEnter   func(ReadOnlyInfo)
+	ReadOnlyExit    func(ReadOnlyInfo)
 }
 
 // EnsureDefaults returns a copy of the listener with every nil
@@ -153,6 +177,15 @@ func (l *EventListener) EnsureDefaults() *EventListener {
 	if out.WriteStallEnd == nil {
 		out.WriteStallEnd = func(StallInfo) {}
 	}
+	if out.BackgroundError == nil {
+		out.BackgroundError = func(BackgroundErrorInfo) {}
+	}
+	if out.ReadOnlyEnter == nil {
+		out.ReadOnlyEnter = func(ReadOnlyInfo) {}
+	}
+	if out.ReadOnlyExit == nil {
+		out.ReadOnlyExit = func(ReadOnlyInfo) {}
+	}
 	return &out
 }
 
@@ -195,6 +228,15 @@ func NewLoggingListener(logf func(format string, args ...any)) *EventListener {
 		},
 		WriteStallEnd: func(i StallInfo) {
 			logf("write stall end: level %d after %v", i.Level, i.Duration)
+		},
+		BackgroundError: func(i BackgroundErrorInfo) {
+			logf("background error: %s attempt %d: %v", i.Op, i.Retries, i.Err)
+		},
+		ReadOnlyEnter: func(i ReadOnlyInfo) {
+			logf("read-only: entered (%v)", i.Cause)
+		},
+		ReadOnlyExit: func(i ReadOnlyInfo) {
+			logf("read-only: healed after %v", i.Duration)
 		},
 	}
 }
@@ -264,6 +306,21 @@ func TeeListener(ls ...*EventListener) *EventListener {
 		WriteStallEnd: func(i StallInfo) {
 			for _, l := range filled {
 				l.WriteStallEnd(i)
+			}
+		},
+		BackgroundError: func(i BackgroundErrorInfo) {
+			for _, l := range filled {
+				l.BackgroundError(i)
+			}
+		},
+		ReadOnlyEnter: func(i ReadOnlyInfo) {
+			for _, l := range filled {
+				l.ReadOnlyEnter(i)
+			}
+		},
+		ReadOnlyExit: func(i ReadOnlyInfo) {
+			for _, l := range filled {
+				l.ReadOnlyExit(i)
 			}
 		},
 	}

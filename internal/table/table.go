@@ -12,10 +12,20 @@
 //	+--------------------------------------------------------------+
 //	0          dataEnd                        metaOff       capacity
 //
-// Each append writes new data blocks at dataEnd and rewrites the (small)
-// metadata region and footer in place at the tail.  When the two fronts
-// would collide, Append fails with ErrNoSpace and the caller falls back
-// to a merge — exactly the degradation path IAM's flush strategy uses.
+// Each append writes new data blocks at dataEnd and a fresh copy of the
+// (small) metadata region at the tail.  When the two fronts would
+// collide, Append fails with ErrNoSpace and the caller falls back to a
+// merge — exactly the degradation path IAM's flush strategy uses.
+//
+// The tail commit is crash-safe: metadata is never overwritten in
+// place — each append writes the new metadata *below* the previous
+// copy (the hole pays for dead copies until the next merge rewrites the
+// file) — and the footer is two 48-byte generation-stamped slots,
+// written alternately.  A torn or bit-flipped in-flight write can
+// therefore only land in virgin hole space or destroy the standby
+// footer slot; Open picks the valid slot with the highest generation
+// and verifies a CRC over the metadata it points at, so the file always
+// reopens at the last synced commit.
 package table
 
 import (
@@ -38,9 +48,15 @@ import (
 )
 
 const (
-	magic     = 0x4d53544247313921 // "MSTBG19!"
-	version   = 1
-	footerLen = 40
+	magic   = 0x4d53544247313921 // "MSTBG19!"
+	version = 2
+
+	// footerSlot is one generation-stamped footer: magic(8) version(4)
+	// seqCount(4) metaOff(8) metaLen(8) metaCRC(4) gen(8) crc(4).
+	footerSlot = 48
+	// tailLen is the two alternating footer slots at the end of the
+	// file; the slot for generation g lives at capacity-tailLen+g%2*footerSlot.
+	tailLen = 2 * footerSlot
 )
 
 var (
@@ -85,6 +101,13 @@ type Table struct {
 	mu      sync.RWMutex
 	dataEnd int64
 	seqs    []SeqMeta // oldest first; appends push back
+
+	// metaFloor and gen belong to the appender (like the write side of
+	// dataEnd): metaFloor is the start of the last committed metadata
+	// copy — the next copy is written strictly below it — and gen is
+	// the committed footer generation.
+	metaFloor int64
+	gen       uint64
 }
 
 // snapshotSeqs returns the current sequence list for lock-free reads.
@@ -113,10 +136,16 @@ func (o Options) bits() int {
 	return o.BitsPerKey
 }
 
+// MinCapacity is the smallest usable table file: the dual-slot footer
+// tail plus room for a few data blocks and the meta section the
+// appender reserves.  Callers sizing files from tiny test
+// configurations clamp to this floor.
+const MinCapacity = tailLen + 4*block.TargetSize
+
 // Create makes a new empty MSTable with the given fixed capacity and
 // numeric id (used as the block-cache identity).
 func Create(fs vfs.FS, name string, id uint64, capacity int64, opt Options) (*Table, error) {
-	if capacity < footerLen+block.TargetSize {
+	if capacity < MinCapacity {
 		return nil, fmt.Errorf("table: capacity %d too small", capacity)
 	}
 	f, err := fs.Create(name)
@@ -124,7 +153,8 @@ func Create(fs vfs.FS, name string, id uint64, capacity int64, opt Options) (*Ta
 		return nil, err
 	}
 	t := &Table{fs: fs, f: f, name: name, id: id, capacity: capacity,
-		cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression}
+		cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression,
+		metaFloor: capacity - tailLen}
 	if err := t.writeMeta(); err != nil {
 		_ = f.Close()
 		return nil, err
@@ -132,7 +162,38 @@ func Create(fs vfs.FS, name string, id uint64, capacity int64, opt Options) (*Ta
 	return t, nil
 }
 
-// Open reads an existing MSTable's footer and metadata.
+// footerInfo is one decoded footer slot.
+type footerInfo struct {
+	seqCount int
+	metaOff  int64
+	metaLen  int64
+	metaCRC  uint32
+	gen      uint64
+}
+
+// parseFooter decodes one footer slot, returning ok=false when the slot
+// is empty, torn, or corrupted — the caller falls back to the other.
+func parseFooter(p []byte) (footerInfo, bool) {
+	if binary.LittleEndian.Uint64(p[0:8]) != magic {
+		return footerInfo{}, false
+	}
+	if binary.LittleEndian.Uint32(p[8:12]) != version {
+		return footerInfo{}, false
+	}
+	if crc32.Checksum(p[:footerSlot-4], castagnoli) != binary.LittleEndian.Uint32(p[footerSlot-4:footerSlot]) {
+		return footerInfo{}, false
+	}
+	return footerInfo{
+		seqCount: int(binary.LittleEndian.Uint32(p[12:16])),
+		metaOff:  int64(binary.LittleEndian.Uint64(p[16:24])),
+		metaLen:  int64(binary.LittleEndian.Uint64(p[24:32])),
+		metaCRC:  binary.LittleEndian.Uint32(p[32:36]),
+		gen:      binary.LittleEndian.Uint64(p[36:44]),
+	}, true
+}
+
+// Open reads an existing MSTable's footers and metadata, committing to
+// the highest-generation slot whose metadata checks out.
 func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 	f, err := fs.Open(name)
 	if err != nil {
@@ -143,55 +204,59 @@ func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 		_ = f.Close()
 		return nil, err
 	}
-	if size < footerLen {
+	if size < tailLen {
 		_ = f.Close()
 		return nil, fmt.Errorf("%w: file %s shorter than footer", ErrCorrupt, name)
 	}
-	var foot [footerLen]byte
-	if _, err := f.ReadAt(foot[:], size-footerLen); err != nil {
+	var tail [tailLen]byte
+	if _, err := f.ReadAt(tail[:], size-tailLen); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
-	if binary.LittleEndian.Uint64(foot[0:8]) != magic {
-		_ = f.Close()
-		return nil, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, name)
-	}
-	if binary.LittleEndian.Uint32(foot[8:12]) != version {
-		_ = f.Close()
-		return nil, fmt.Errorf("%w: unknown version in %s", ErrCorrupt, name)
-	}
-	wantCRC := binary.LittleEndian.Uint32(foot[36:40])
-	if crc32.Checksum(foot[:36], castagnoli) != wantCRC {
-		_ = f.Close()
-		return nil, fmt.Errorf("%w: footer checksum in %s", ErrCorrupt, name)
-	}
-	seqCount := int(binary.LittleEndian.Uint32(foot[12:16]))
-	metaOff := int64(binary.LittleEndian.Uint64(foot[16:24]))
-	metaLen := int64(binary.LittleEndian.Uint64(foot[24:32]))
-
-	t := &Table{fs: fs, f: f, name: name, id: id, capacity: size,
-		cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression}
-	raw := make([]byte, metaLen)
-	if metaLen > 0 {
-		if _, err := f.ReadAt(raw, metaOff); err != nil {
-			_ = f.Close()
-			return nil, err
+	var cands []footerInfo
+	for s := 0; s < 2; s++ {
+		if fi, ok := parseFooter(tail[s*footerSlot : (s+1)*footerSlot]); ok {
+			cands = append(cands, fi)
 		}
 	}
-	if err := t.parseMeta(raw, seqCount); err != nil {
-		_ = f.Close()
-		return nil, err
+	if len(cands) == 2 && cands[0].gen < cands[1].gen {
+		cands[0], cands[1] = cands[1], cands[0]
 	}
-	for _, s := range t.seqs {
-		if end := int64(s.DataOff + s.DataLen); end > t.dataEnd {
-			t.dataEnd = end
+	for _, fi := range cands {
+		if fi.metaOff < 0 || fi.metaLen < 0 || fi.metaOff+fi.metaLen > size-tailLen {
+			continue
 		}
+		raw := make([]byte, fi.metaLen)
+		if fi.metaLen > 0 {
+			if _, err := f.ReadAt(raw, fi.metaOff); err != nil {
+				continue
+			}
+		}
+		if crc32.Checksum(raw, castagnoli) != fi.metaCRC {
+			continue
+		}
+		t := &Table{fs: fs, f: f, name: name, id: id, capacity: size,
+			cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression,
+			metaFloor: fi.metaOff, gen: fi.gen}
+		if err := t.parseMeta(raw, fi.seqCount); err != nil {
+			continue
+		}
+		for _, s := range t.seqs {
+			if end := int64(s.DataOff + s.DataLen); end > t.dataEnd {
+				t.dataEnd = end
+			}
+		}
+		return t, nil
 	}
-	return t, nil
+	_ = f.Close()
+	return nil, fmt.Errorf("%w: no valid footer in %s", ErrCorrupt, name)
 }
 
-// writeMeta serializes all sequence metadata at the tail and rewrites
-// the footer.  Returns ErrNoSpace if metadata would collide with data.
+// writeMeta serializes all sequence metadata into fresh tail space
+// below the last committed copy and commits it by writing the next
+// generation's footer slot.  Nothing the previous generation depends on
+// is touched, so a crash anywhere in here leaves the old commit intact.
+// Returns ErrNoSpace if metadata would collide with data.
 func (t *Table) writeMeta() error {
 	var buf []byte
 	for _, s := range t.seqs {
@@ -203,7 +268,7 @@ func (t *Table) writeMeta() error {
 		buf = appendBytes(buf, s.Bloom)
 		buf = appendBytes(buf, s.RawIndex)
 	}
-	metaOff := t.capacity - footerLen - int64(len(buf))
+	metaOff := t.metaFloor - int64(len(buf))
 	if metaOff < t.dataEnd {
 		return ErrNoSpace
 	}
@@ -212,17 +277,22 @@ func (t *Table) writeMeta() error {
 			return err
 		}
 	}
-	var foot [footerLen]byte
+	gen := t.gen + 1
+	var foot [footerSlot]byte
 	binary.LittleEndian.PutUint64(foot[0:8], magic)
 	binary.LittleEndian.PutUint32(foot[8:12], version)
 	binary.LittleEndian.PutUint32(foot[12:16], uint32(len(t.seqs)))
 	binary.LittleEndian.PutUint64(foot[16:24], uint64(metaOff))
 	binary.LittleEndian.PutUint64(foot[24:32], uint64(len(buf)))
-	binary.LittleEndian.PutUint32(foot[32:36], 0) // reserved
-	binary.LittleEndian.PutUint32(foot[36:40], crc32.Checksum(foot[:36], castagnoli))
-	if _, err := t.f.WriteAt(foot[:], t.capacity-footerLen); err != nil {
+	binary.LittleEndian.PutUint32(foot[32:36], crc32.Checksum(buf, castagnoli))
+	binary.LittleEndian.PutUint64(foot[36:44], gen)
+	binary.LittleEndian.PutUint32(foot[44:48], crc32.Checksum(foot[:44], castagnoli))
+	slot := int64(gen % 2)
+	if _, err := t.f.WriteAt(foot[:], t.capacity-tailLen+slot*footerSlot); err != nil {
 		return err
 	}
+	t.gen = gen
+	t.metaFloor = metaOff
 	return nil
 }
 
@@ -310,9 +380,9 @@ func (t *Table) MetaSize() int64 {
 	return n
 }
 
-// UsedBytes reports data + metadata + footer: the space the table would
-// occupy on a hole-punching filesystem.  Figure 10 sums this.
-func (t *Table) UsedBytes() int64 { return t.DataSize() + t.MetaSize() + footerLen }
+// UsedBytes reports data + metadata + footers: the space the table
+// would occupy on a hole-punching filesystem.  Figure 10 sums this.
+func (t *Table) UsedBytes() int64 { return t.DataSize() + t.MetaSize() + tailLen }
 
 // Entries reports the total record count across sequences.
 func (t *Table) Entries() uint64 {
@@ -499,7 +569,7 @@ func (t *Table) AppendFrom(it iterator.Iterator, limit int64) (AppendResult, err
 	}
 	res := AppendResult{
 		Entries: meta.Entries,
-		Bytes:   int64(meta.DataLen) + t.MetaSize() + footerLen,
+		Bytes:   int64(meta.DataLen) + t.MetaSize() + footerSlot,
 		More:    it.Valid(),
 	}
 	return res, nil
@@ -557,10 +627,11 @@ func (w *seqWriter) flushBlock() error {
 		return nil
 	}
 	enc := encodeBlock(w.bb.Finish(), w.t.compress)
-	// Guard against colliding with the metadata region: leave room for
-	// the (rewritten) metadata of existing sequences plus this one.
-	reserve := w.t.MetaSize() + int64(w.ib.SizeEstimate()) + int64(len(w.bloomKeys)*2) + 4096 + footerLen
-	if w.off+int64(len(enc))+reserve > w.t.capacity {
+	// Guard against colliding with the metadata region: the new copy
+	// goes below metaFloor, so leave room under it for the metadata of
+	// existing sequences plus this one.
+	reserve := w.t.MetaSize() + int64(w.ib.SizeEstimate()) + int64(len(w.bloomKeys)*2) + 4096
+	if w.off+int64(len(enc))+reserve > w.t.metaFloor {
 		return ErrNoSpace
 	}
 	if _, err := w.t.f.WriteAt(enc, w.off); err != nil {

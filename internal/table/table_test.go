@@ -299,10 +299,66 @@ func TestCorruptFooterRejected(t *testing.T) {
 	tb.Close()
 	f, _ := fs.Open("1.mst")
 	size, _ := f.Size()
-	f.WriteAt([]byte{0xde, 0xad}, size-10) // clobber footer
+	// Clobber both footer slots: nothing valid remains to fall back to.
+	f.WriteAt([]byte{0xde, 0xad}, size-10)
+	f.WriteAt([]byte{0xde, 0xad}, size-footerSlot-10)
 	f.Close()
 	if _, err := Open(fs, "1.mst", 1, Options{}); err == nil {
 		t.Fatal("corrupt footer accepted")
+	}
+}
+
+func TestTornFooterFallsBackToPreviousGeneration(t *testing.T) {
+	// Two commits land in alternating footer slots.  Destroying the
+	// newest slot (a torn in-flight footer write) must reopen the table
+	// at the previous generation, not fail.
+	fs := vfs.NewMemFS()
+	tb := mustCreate(t, fs, "1.mst")
+	if _, err := tb.Append(kvIter(1, "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Append(kvIter(2, "c", "d")); err != nil {
+		t.Fatal(err)
+	}
+	gen := tb.gen // generation of the newest commit
+	tb.Close()
+	f, _ := fs.Open("1.mst")
+	size, _ := f.Size()
+	slotOff := size - tailLen + int64(gen%2)*footerSlot
+	junk := make([]byte, footerSlot)
+	f.WriteAt(junk, slotOff)
+	f.Close()
+	re, err := Open(fs, "1.mst", 1, Options{})
+	if err != nil {
+		t.Fatalf("reopen after torn footer: %v", err)
+	}
+	defer re.Close()
+	if re.NumSeqs() != 1 {
+		t.Fatalf("want previous generation with 1 seq, got %d", re.NumSeqs())
+	}
+	if _, _, _, found, err := re.Get([]byte("a"), kv.MaxSeq); err != nil || !found {
+		t.Fatalf("committed key lost: %v found=%v", err, found)
+	}
+}
+
+func TestMetaNeverOverwritten(t *testing.T) {
+	// Each commit's metadata must land strictly below the previous
+	// copy: a torn metadata write can then never damage committed
+	// state.
+	fs := vfs.NewMemFS()
+	tb := mustCreate(t, fs, "1.mst")
+	floor0 := tb.metaFloor
+	if _, err := tb.Append(kvIter(1, "a")); err != nil {
+		t.Fatal(err)
+	}
+	floor1 := tb.metaFloor
+	if _, err := tb.Append(kvIter(2, "b")); err != nil {
+		t.Fatal(err)
+	}
+	floor2 := tb.metaFloor
+	tb.Close()
+	if !(floor2 < floor1 && floor1 < floor0) {
+		t.Fatalf("meta floors must descend: %d %d %d", floor0, floor1, floor2)
 	}
 }
 

@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"errors"
+	"strings"
 	"sync"
 )
 
@@ -12,12 +13,16 @@ var ErrInjected = errors.New("vfs: injected fault")
 // the engines' error paths: write failures during compaction, torn
 // syncs, failed opens.  Faults are armed by operation kind with a
 // countdown — "fail the 3rd write from now" — and fire once unless
-// sticky.
+// sticky.  Faults can be scoped to paths containing a substring, and
+// write faults can be "short": part of the buffer reaches the inner
+// file before the error surfaces, like a disk that ran out of space
+// mid-write.
 type FaultFS struct {
 	inner FS
 
 	mu     sync.Mutex
-	arm    map[FaultOp]*fault
+	arm    map[FaultOp][]*fault
+	hits   map[FaultOp]int
 	sticky bool
 }
 
@@ -31,23 +36,43 @@ const (
 	FaultSync
 	FaultCreate
 	FaultRemove
+	FaultClose
 )
 
 type fault struct {
-	after int // fire when counter reaches zero
-	hits  int
+	after  int    // fire when counter reaches zero
+	path   string // substring the file path must contain; "" = any
+	shortN int    // for FaultWrite: bytes to let through first; < 0 = none
 }
 
 // NewFaultFS wraps fs with no faults armed.
 func NewFaultFS(fs FS) *FaultFS {
-	return &FaultFS{inner: fs, arm: make(map[FaultOp]*fault)}
+	return &FaultFS{inner: fs, arm: make(map[FaultOp][]*fault), hits: make(map[FaultOp]int)}
 }
 
 // FailAfter arms op to fail after n more operations (n=0 fails the
-// next one).  Re-arming replaces the previous schedule.
+// next one).  Re-arming replaces the previous schedule for op.
 func (f *FaultFS) FailAfter(op FaultOp, n int) {
 	f.mu.Lock()
-	f.arm[op] = &fault{after: n}
+	f.arm[op] = []*fault{{after: n, shortN: -1}}
+	f.mu.Unlock()
+}
+
+// FailAfterPath arms op to fail after n more operations whose file path
+// contains substr.  Unlike FailAfter it adds to the schedule, so
+// several path-scoped faults can be armed at once.
+func (f *FaultFS) FailAfterPath(op FaultOp, substr string, n int) {
+	f.mu.Lock()
+	f.arm[op] = append(f.arm[op], &fault{after: n, path: substr, shortN: -1})
+	f.mu.Unlock()
+}
+
+// FailShortWrite arms a write fault scoped to paths containing substr
+// that, when it fires, lets the first n bytes of the buffer through to
+// the inner file and then fails — a short write.
+func (f *FaultFS) FailShortWrite(substr string, after, n int) {
+	f.mu.Lock()
+	f.arm[FaultWrite] = append(f.arm[FaultWrite], &fault{after: after, path: substr, shortN: n})
 	f.mu.Unlock()
 }
 
@@ -61,49 +86,53 @@ func (f *FaultFS) SetSticky(on bool) {
 // Clear disarms all faults.
 func (f *FaultFS) Clear() {
 	f.mu.Lock()
-	f.arm = make(map[FaultOp]*fault)
+	f.arm = make(map[FaultOp][]*fault)
 	f.mu.Unlock()
 }
 
-// Hits reports how many times op's fault has fired.
+// Hits reports how many times faults of class op have fired.
 func (f *FaultFS) Hits(op FaultOp) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if fa := f.arm[op]; fa != nil {
-		return fa.hits
-	}
-	return 0
+	return f.hits[op]
 }
 
-// check decides whether the next operation of class op fails.
-func (f *FaultFS) check(op FaultOp) error {
+// check decides whether the next operation of class op on path fails.
+// It returns the short-write byte count (< 0 when the whole operation
+// must fail) alongside the error.  Only the first fault whose path
+// scope matches is considered, so countdowns are not consumed by
+// operations outside their scope.
+func (f *FaultFS) check(op FaultOp, path string) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	fa := f.arm[op]
-	if fa == nil {
-		return nil
+	for i, fa := range f.arm[op] {
+		if fa.path != "" && !strings.Contains(path, fa.path) {
+			continue
+		}
+		if fa.after > 0 {
+			fa.after--
+			return -1, nil
+		}
+		f.hits[op]++
+		shortN := fa.shortN
+		if !f.sticky {
+			f.arm[op] = append(f.arm[op][:i], f.arm[op][i+1:]...)
+		}
+		return shortN, ErrInjected
 	}
-	if fa.after > 0 {
-		fa.after--
-		return nil
-	}
-	fa.hits++
-	if !f.sticky {
-		delete(f.arm, op)
-	}
-	return ErrInjected
+	return -1, nil
 }
 
 // Create implements FS.
 func (f *FaultFS) Create(name string) (File, error) {
-	if err := f.check(FaultCreate); err != nil {
+	if _, err := f.check(FaultCreate, name); err != nil {
 		return nil, err
 	}
 	file, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{inner: file, fs: f}, nil
+	return &faultFile{inner: file, fs: f, name: name}, nil
 }
 
 // Open implements FS.
@@ -112,12 +141,12 @@ func (f *FaultFS) Open(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{inner: file, fs: f}, nil
+	return &faultFile{inner: file, fs: f, name: name}, nil
 }
 
 // Remove implements FS.
 func (f *FaultFS) Remove(name string) error {
-	if err := f.check(FaultRemove); err != nil {
+	if _, err := f.check(FaultRemove, name); err != nil {
 		return err
 	}
 	return f.inner.Remove(name)
@@ -138,36 +167,65 @@ func (f *FaultFS) Exists(name string) bool { return f.inner.Exists(name) }
 type faultFile struct {
 	inner File
 	fs    *FaultFS
+	name  string
 }
 
 func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
-	if err := f.fs.check(FaultRead); err != nil {
+	if _, err := f.fs.check(FaultRead, f.name); err != nil {
 		return 0, err
 	}
 	return f.inner.ReadAt(p, off)
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	if err := f.fs.check(FaultWrite); err != nil {
+	shortN, err := f.fs.check(FaultWrite, f.name)
+	if err != nil {
+		if shortN > 0 {
+			if shortN > len(p) {
+				shortN = len(p)
+			}
+			n, werr := f.inner.WriteAt(p[:shortN], off)
+			if werr != nil {
+				n = 0
+			}
+			return n, err
+		}
 		return 0, err
 	}
 	return f.inner.WriteAt(p, off)
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	if err := f.fs.check(FaultWrite); err != nil {
+	shortN, err := f.fs.check(FaultWrite, f.name)
+	if err != nil {
+		if shortN > 0 {
+			if shortN > len(p) {
+				shortN = len(p)
+			}
+			n, werr := f.inner.Write(p[:shortN])
+			if werr != nil {
+				n = 0
+			}
+			return n, err
+		}
 		return 0, err
 	}
 	return f.inner.Write(p)
 }
 
 func (f *faultFile) Sync() error {
-	if err := f.fs.check(FaultSync); err != nil {
+	if _, err := f.fs.check(FaultSync, f.name); err != nil {
 		return err
 	}
 	return f.inner.Sync()
 }
 
-func (f *faultFile) Close() error           { return f.inner.Close() }
+func (f *faultFile) Close() error {
+	if _, err := f.fs.check(FaultClose, f.name); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}
+
 func (f *faultFile) Size() (int64, error)   { return f.inner.Size() }
 func (f *faultFile) Truncate(n int64) error { return f.inner.Truncate(n) }

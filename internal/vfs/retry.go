@@ -1,0 +1,23 @@
+package vfs
+
+// Retry invokes op up to attempts times, returning nil on the first
+// success and the last error otherwise.  Between attempts it calls
+// backoff with the 1-based number of failures so far; backoff supplies
+// the pause (real sleep, virtual clock, or nothing) and returns false
+// to abandon the retry loop early — e.g. when the DB is closing.  A nil
+// backoff retries immediately.
+//
+// Retry itself never sleeps and never reads a clock, so it is safe in
+// the deterministic packages; time policy belongs to the caller.
+func Retry(attempts int, backoff func(failures int) bool, op func() error) error {
+	var err error
+	for try := 0; try < attempts; try++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if try+1 < attempts && backoff != nil && !backoff(try+1) {
+			return err
+		}
+	}
+	return err
+}

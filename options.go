@@ -28,6 +28,11 @@ type (
 	ManifestEditInfo = metrics.ManifestEditInfo
 	TableInfo        = metrics.TableInfo
 	StallInfo        = metrics.StallInfo
+	// BackgroundErrorInfo and ReadOnlyInfo carry the background-error
+	// and read-only-degradation callbacks (see DESIGN.md "Failure
+	// model & crash consistency").
+	BackgroundErrorInfo = metrics.BackgroundErrorInfo
+	ReadOnlyInfo        = metrics.ReadOnlyInfo
 )
 
 // Clock is the monotonic time source used for event durations and
@@ -146,6 +151,19 @@ type Options struct {
 	// Clock is the monotonic time source for event durations and the
 	// latency histograms in Metrics.  Nil means real monotonic time.
 	Clock Clock
+
+	// BgRetryLimit is how many consecutive background flush/compaction
+	// failures the DB tolerates before degrading to read-only mode
+	// (writes return ErrReadOnly, reads keep working).  Default 5.
+	BgRetryLimit int
+
+	// BgBackoff, when non-nil, is called between background retry
+	// attempts with the consecutive-failure count; returning false
+	// abandons the retry loop until the next kick (Resume or new
+	// work).  Nil uses an exponential sleep capped at 128ms that also
+	// aborts on Close.  Tests inject this to make retries instant and
+	// deterministic.
+	BgBackoff func(failures int) bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -176,6 +194,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.CompactionThreads == 0 {
 		out.CompactionThreads = 1
+	}
+	if out.BgRetryLimit == 0 {
+		out.BgRetryLimit = 5
 	}
 	return out
 }

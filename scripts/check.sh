@@ -40,6 +40,13 @@ echo "== hot-path allocation gate"
 go test -run 'TestInstrumentationZeroAlloc|TestHotPathAllocations' -count=1 .
 go test -run TestConcurrentZeroAlloc -count=1 ./internal/histogram/
 
+echo "== crash matrix (bounded)"
+# Systematic crash-point exploration: crash at sampled sync/write
+# boundaries of the IAM and LSA engines, reopen, and check the
+# durability oracle.  IAMDB_CRASH_FULL=1 runs the exhaustive sweep
+# (every op index, all engines, all corruption modes — ~20s).
+go test -run Crash -count=1 .
+
 echo "== go test -race"
 # The harness simulations exceed go test's default 10-minute timeout
 # under the race detector's ~10x slowdown; give them room.
