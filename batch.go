@@ -37,12 +37,17 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Reset clears the batch for reuse.
 func (b *Batch) Reset() { b.ops = b.ops[:0] }
 
-// encode serializes the batch as one WAL record:
+// appendEncoded serializes the batch onto buf and returns the extended
+// slice:
 //
 //	startSeq(varint) count(varint)
 //	{kind(1) keyLen(varint) key [valLen(varint) val]}*
-func (b *Batch) encode(startSeq kv.Seq) []byte {
-	buf := binary.AppendUvarint(nil, uint64(startSeq))
+//
+// The encoding is self-delimiting, so a group commit can concatenate
+// several batches into one WAL record and recovery can decode them
+// back-to-back.
+func (b *Batch) appendEncoded(buf []byte, startSeq kv.Seq) []byte {
+	buf = binary.AppendUvarint(buf, uint64(startSeq))
 	buf = binary.AppendUvarint(buf, uint64(len(b.ops)))
 	for _, op := range b.ops {
 		buf = append(buf, byte(op.kind))
@@ -58,9 +63,27 @@ func (b *Batch) encode(startSeq kv.Seq) []byte {
 
 var errBadBatch = errors.New("iamdb: corrupt batch record")
 
-// decodeBatchInto replays one WAL record into a memtable, returning the
-// last sequence number it used.
-func decodeBatchInto(rec []byte, mt *memtable.MemTable) (kv.Seq, error) {
+// decodeRecordInto replays one WAL record — one or more concatenated
+// batch encodings, the way the commit leader writes a group — into a
+// memtable, returning the last sequence number it used.
+func decodeRecordInto(rec []byte, mt *memtable.MemTable) (kv.Seq, error) {
+	var last kv.Seq
+	for len(rec) > 0 {
+		seq, rest, err := decodeOneBatch(rec, mt)
+		if err != nil {
+			return 0, err
+		}
+		if seq > last {
+			last = seq
+		}
+		rec = rest
+	}
+	return last, nil
+}
+
+// decodeOneBatch replays the first batch encoding in rec, returning
+// its last sequence number and the remaining bytes.
+func decodeOneBatch(rec []byte, mt *memtable.MemTable) (kv.Seq, []byte, error) {
 	p := rec
 	u := func() (uint64, bool) {
 		v, n := binary.Uvarint(p)
@@ -72,22 +95,22 @@ func decodeBatchInto(rec []byte, mt *memtable.MemTable) (kv.Seq, error) {
 	}
 	start, ok := u()
 	if !ok {
-		return 0, errBadBatch
+		return 0, nil, errBadBatch
 	}
 	count, ok := u()
 	if !ok {
-		return 0, errBadBatch
+		return 0, nil, errBadBatch
 	}
 	seq := kv.Seq(start)
 	for i := uint64(0); i < count; i++ {
 		if len(p) < 1 {
-			return 0, errBadBatch
+			return 0, nil, errBadBatch
 		}
 		kind := kv.Kind(p[0])
 		p = p[1:]
 		klen, ok := u()
 		if !ok || uint64(len(p)) < klen {
-			return 0, errBadBatch
+			return 0, nil, errBadBatch
 		}
 		key := p[:klen]
 		p = p[klen:]
@@ -95,17 +118,17 @@ func decodeBatchInto(rec []byte, mt *memtable.MemTable) (kv.Seq, error) {
 		if kind == kv.KindSet {
 			vlen, ok := u()
 			if !ok || uint64(len(p)) < vlen {
-				return 0, errBadBatch
+				return 0, nil, errBadBatch
 			}
 			val = p[:vlen]
 			p = p[vlen:]
 		} else if kind != kv.KindDelete {
-			return 0, errBadBatch
+			return 0, nil, errBadBatch
 		}
 		mt.Add(seq, kind, key, val)
 		seq++
 	}
-	return seq - 1, nil
+	return seq - 1, p, nil
 }
 
 // size estimates the memtable bytes the batch will occupy.

@@ -1,0 +1,147 @@
+package main
+
+// The concurrency experiment measures the commit pipeline's group
+// commit under real write contention: N goroutines issue synchronous
+// Puts against one DB, and throughput is wall-clock ops/sec.  It lives
+// in cmd/iambench (not internal/harness) because it must read the wall
+// clock — the harness packages are in iamlint's determinism scope.
+//
+// The filesystem is an in-memory FS whose Sync carries a fixed modeled
+// device latency.  That latency is the quantity group commit exists to
+// amortize: with one writer every commit pays a full sync; with N
+// writers the queue fills while the leader is inside Sync, so the next
+// leader commits the whole backlog under a single sync.  Throughput
+// should therefore scale close to linearly with the writer count until
+// group sizes saturate.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"iamdb"
+	"iamdb/internal/harness"
+	"iamdb/internal/vfs"
+)
+
+const (
+	// concSyncLat is the modeled device sync latency.
+	concSyncLat = 100 * time.Microsecond
+	// concValueSize matches the harness's default value size.
+	concValueSize = 100
+)
+
+// syncLatFS wraps an FS so every file Sync sleeps for the modeled
+// device latency before delegating.  Reads and writes stay free, which
+// isolates the one cost the commit pipeline amortizes.
+type syncLatFS struct {
+	vfs.FS
+	lat time.Duration
+}
+
+func (fs syncLatFS) Create(name string) (vfs.File, error) {
+	f, err := fs.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return syncLatFile{File: f, lat: fs.lat}, nil
+}
+
+func (fs syncLatFS) Open(name string) (vfs.File, error) {
+	f, err := fs.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return syncLatFile{File: f, lat: fs.lat}, nil
+}
+
+type syncLatFile struct {
+	vfs.File
+	lat time.Duration
+}
+
+func (f syncLatFile) Sync() error {
+	time.Sleep(f.lat)
+	return f.File.Sync()
+}
+
+// runConcurrency produces the contention table: ops/sec, mean commit
+// group size, and speedup over one writer, at 1/4/8/16 writers.
+func runConcurrency(s harness.Scale) (harness.Table, error) {
+	ops := 4000
+	if s.Name == "small" {
+		ops = 1600
+	}
+	tbl := harness.Table{
+		Title: fmt.Sprintf("Concurrent commit throughput: %d sync Puts on MemFS with %v sync latency (IAM)",
+			ops, concSyncLat),
+		Header: []string{"writers", "ops/sec", "mean group", "speedup"},
+	}
+	var base float64
+	for _, w := range []int{1, 4, 8, 16} {
+		opsPerSec, meanGroup, err := concurrencyRun(w, ops)
+		if err != nil {
+			return harness.Table{}, err
+		}
+		if base == 0 {
+			base = opsPerSec
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", w),
+			fmt.Sprintf("%.0f", opsPerSec),
+			fmt.Sprintf("%.2f", meanGroup),
+			fmt.Sprintf("%.2fx", opsPerSec/base),
+		})
+	}
+	return tbl, nil
+}
+
+// concurrencyRun times writers concurrent goroutines splitting totalOps
+// synchronous Puts over a fresh DB.
+func concurrencyRun(writers, totalOps int) (opsPerSec, meanGroup float64, err error) {
+	fs := syncLatFS{FS: vfs.NewMemFS(), lat: concSyncLat}
+	db, err := iamdb.Open("db", &iamdb.Options{
+		Engine: iamdb.IAM, FS: fs, SyncWrites: true,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	val := bytes.Repeat([]byte("v"), concValueSize)
+	perW := totalOps / writers
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := make([]byte, 0, 32)
+			for i := 0; i < perW; i++ {
+				key = fmt.Appendf(key[:0], "w%03d-%09d", w, i)
+				if err := db.Put(key, val); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			_ = db.Close()
+			return 0, 0, e
+		}
+	}
+	m := db.Metrics()
+	harness.Report(harness.MetricsRecord{
+		Engine:  fmt.Sprintf("IAM-%dwriters", writers),
+		Disk:    fmt.Sprintf("mem+sync%v", concSyncLat),
+		Metrics: m,
+	})
+	if err := db.Close(); err != nil {
+		return 0, 0, err
+	}
+	return float64(perW*writers) / elapsed.Seconds(), m.MeanCommitGroupSize(), nil
+}

@@ -10,7 +10,11 @@
 //	iambench -list                   # list experiment ids
 //
 // Experiment ids: table1 table2 table3 table4 table5 figure6
-// figure7a figure7b figure7c figure8 figure9 figure10
+// figure7a figure7b figure7c figure8 figure9 figure10 concurrency
+//
+// All experiments except `concurrency` run on the deterministic
+// virtual-disk harness; `concurrency` measures the commit pipeline's
+// group commit in wall-clock time, so its numbers vary with the host.
 package main
 
 import (
@@ -56,6 +60,8 @@ func experiments() []experiment {
 			func(s harness.Scale) (harness.Table, error) { return s.Figure9() }},
 		{"figure10", "space usage after write tests",
 			func(s harness.Scale) (harness.Table, error) { return s.Figure10() }},
+		{"concurrency", "group-commit throughput vs writer count (wall clock)",
+			runConcurrency},
 	}
 }
 

@@ -16,6 +16,11 @@
 //	alias        keys/values returned by iterator Key()/Value() or
 //	             block readers alias reused buffers; retaining one in a
 //	             struct field, map, or slice without a copy is flagged
+//	atomicpub    a struct published to readers through an
+//	             atomic.Pointer[T] (skiplist nodes, arena chunks, the
+//	             DB's read-state) is frozen once stored; plain-field
+//	             writes are allowed only on provably fresh values
+//	             (&T{...}, new(T), or a same-package new* constructor)
 //
 // Diagnostics print as "file:line: [pass] message" and the process
 // exits non-zero if any are found.  Suppression directives:
@@ -81,7 +86,7 @@ func run(patterns []string) ([]string, error) {
 	return out, nil
 }
 
-// analyze runs the four passes over one loaded package, honouring the
+// analyze runs the five passes over one loaded package, honouring the
 // package's suppression directives.
 func analyze(p *pkg) []diag {
 	var diags []diag
@@ -94,5 +99,6 @@ func analyze(p *pkg) []diag {
 	ioerr(p, emit)
 	determinism(p, emit)
 	aliascheck(p, emit)
+	atomicpub(p, emit)
 	return diags
 }

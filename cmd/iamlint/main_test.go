@@ -58,7 +58,7 @@ func TestDeterminismScope(t *testing.T) {
 }
 
 func TestBadFixtures(t *testing.T) {
-	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad"} {
+	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad", "atomicpubbad"} {
 		t.Run(dir, func(t *testing.T) {
 			pattern := "./testdata/" + dir
 			diags, err := run([]string{pattern})
@@ -79,12 +79,13 @@ func TestAllBadFixturesTogether(t *testing.T) {
 	diags, err := run([]string{
 		"./testdata/lockbad", "./testdata/ioerrbad",
 		"./testdata/determbad", "./testdata/aliasbad",
+		"./testdata/atomicpubbad",
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	want := 0
-	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad"} {
+	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad", "atomicpubbad"} {
 		want += len(loadWants(t, filepath.Join("testdata", dir)))
 	}
 	if len(diags) != want {

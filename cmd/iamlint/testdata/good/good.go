@@ -5,6 +5,7 @@ package good
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"iamdb/internal/vfs"
 )
@@ -77,4 +78,39 @@ func (s *store) copyBeforeRetain(it *iter) {
 
 func (s *store) suppressed(it *iter) {
 	s.last = it.Key() //iamlint:ignore alias
+}
+
+// box is published through an atomic.Pointer, so atomicpub freezes its
+// plain fields after publication; every write below happens on a value
+// the pass can prove is still private.
+type box struct {
+	val []byte
+}
+
+type holder struct {
+	cur atomic.Pointer[box]
+}
+
+func newBox() *box { return &box{} }
+
+func (h *holder) publishLiteral(v []byte) {
+	b := &box{}
+	b.val = v // fresh: composite literal, not yet stored
+	h.cur.Store(b)
+}
+
+func (h *holder) publishNew(v []byte) {
+	b := new(box)
+	b.val = v // fresh: new(T)
+	h.cur.Store(b)
+}
+
+func (h *holder) publishConstructed(v []byte) {
+	b := newBox()
+	b.val = v // fresh: same-package new* constructor
+	h.cur.CompareAndSwap(h.cur.Load(), b)
+}
+
+func (h *holder) publishSuppressed() {
+	h.cur.Load().val = nil //iamlint:ignore atomicpub
 }

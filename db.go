@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iamdb/internal/cache"
@@ -83,6 +84,11 @@ type DB struct {
 	eng    metaEngine
 	events *EventListener
 	clock  Clock
+	// timing enables the per-operation latency histograms.  It is set
+	// when the caller attached a listener or injected a clock — i.e.
+	// opted into observability — so the default configuration skips the
+	// two clock reads per operation.
+	timing bool
 
 	// reg names every DB-owned instrument; the hot paths hold direct
 	// pointers below so no map lookup happens per operation.
@@ -95,24 +101,55 @@ type DB struct {
 	stallNanos   *metrics.Counter
 	walRotations *metrics.Counter
 
+	// Commit pipeline (leader/follower group commit).  Writers enqueue
+	// a commitOp under qmu and then race for commitMu; the winner
+	// becomes leader, drains the whole queue and commits it as one WAL
+	// record.  Everyone else finds its op already resolved when it gets
+	// the lock.  Lock order is commitMu before db.mu, never the
+	// reverse.
+	qmu      sync.Mutex
+	pendingQ []*commitOp
+	commitMu sync.Mutex
+	// seq is the last assigned sequence number, owned by whoever holds
+	// commitMu (and by Open before any writer exists).
+	seq kv.Seq
+	// walBuf is the leader's scratch encoding buffer (commitMu).
+	walBuf []byte
+
+	// Lock-free read snapshot: readers load seqA and then state, with
+	// no mutex.  seqA is the last *published* sequence — stored only
+	// after every memtable insert of that group landed — and state is
+	// re-published on every memtable swap, so the pair always describes
+	// a consistent, torn-batch-free view.
+	seqA    atomic.Uint64
+	state   atomic.Pointer[dbState]
+	closedA atomic.Bool
+
+	userBytes atomic.Int64 // total key+value bytes written
+
+	commitGroups  *metrics.Counter
+	commitBatches *metrics.Counter
+	commitWait    *metrics.Counter
+	groupSize     *histogram.Concurrent
+
 	mu         sync.Mutex
 	cond       *sync.Cond
 	mem        *memtable.MemTable
 	imm        *memtable.MemTable
 	immWalNum  uint64
 	immLastSeq kv.Seq
-	seq        kv.Seq
-	userBytes  int64
 	walW       *wal.Writer
 	walF       vfs.File
 	walNum     uint64
 	walRetired int64 // bytes in WAL files already rotated out
-	snaps      map[kv.Seq]int
 	closed     bool
 	bgErr      error // last background failure (*BackgroundError), nil when healthy
 	readonly   bool  // degraded: writes rejected until a retry succeeds
 	bgFails    int   // consecutive background failures
 	bgErrSince int64 // clock nanos when bgErr was first latched
+
+	snapMu sync.Mutex
+	snaps  map[kv.Seq]int
 
 	bgRetries   *metrics.Counter
 	bgReadonly  *metrics.Counter
@@ -122,6 +159,31 @@ type DB struct {
 	compactC chan struct{}
 	quit     chan struct{}
 	wg       sync.WaitGroup
+}
+
+// dbState is the immutable read view published through DB.state after
+// every memtable swap.  A reader that loads seqA and then state gets a
+// state that is current or newer than that sequence, and since records
+// only ever move down the hierarchy (mem → imm → engine) the view
+// contains every record at or below the loaded sequence.
+type dbState struct {
+	mem *memtable.MemTable
+	imm *memtable.MemTable
+}
+
+// publishStateLocked re-publishes the (mem, imm) pair.  Caller holds
+// db.mu, which serializes all memtable swaps.
+func (db *DB) publishStateLocked() {
+	db.state.Store(&dbState{mem: db.mem, imm: db.imm})
+}
+
+// commitOp is one writer's seat in the commit queue.  done and err are
+// written by the leader while it holds commitMu and read by the owner
+// only after it acquires commitMu itself, so the mutex orders them.
+type commitOp struct {
+	b    *Batch
+	err  error
+	done bool
 }
 
 // Open opens (creating as needed) a database in dir.  A nil opt uses
@@ -147,6 +209,7 @@ func Open(dir string, opt *Options) (*DB, error) {
 		cache:  cache.New(o.CacheSize),
 		events: o.EventListener.EnsureDefaults(),
 		clock:  o.Clock,
+		timing: o.EventListener != nil || o.Clock != nil,
 		reg:    metrics.NewRegistry(),
 		io:     io,
 		mem:    memtable.New(),
@@ -166,6 +229,10 @@ func Open(dir string, opt *Options) (*DB, error) {
 	db.bgRetries = db.reg.Counter("bg.retries")
 	db.bgReadonly = db.reg.Counter("bg.readonly")
 	db.bgHealNanos = db.reg.Counter("bg.heal.nanos")
+	db.commitGroups = db.reg.Counter("commit.groups")
+	db.commitBatches = db.reg.Counter("commit.batches")
+	db.commitWait = db.reg.Counter("commit.wait.nanos")
+	db.groupSize = db.reg.Histogram("commit.group.size")
 	db.cond = sync.NewCond(&db.mu)
 	if err := db.fs.MkdirAll(dir); err != nil {
 		return nil, err
@@ -177,6 +244,10 @@ func Open(dir string, opt *Options) (*DB, error) {
 		db.eng.Close()
 		return nil, err
 	}
+	db.seqA.Store(uint64(db.seq))
+	db.mu.Lock()
+	db.publishStateLocked()
+	db.mu.Unlock()
 	db.wg.Add(1)
 	go db.flushWorker()
 	for i := 0; i < db.opt.CompactionThreads; i++ {
@@ -302,7 +373,7 @@ func (db *DB) replayLog(num uint64) error {
 	}
 	defer f.Close()
 	_, err = wal.ReplayAll(f, func(rec []byte) error {
-		last, err := decodeBatchInto(rec, db.mem)
+		last, err := decodeRecordInto(rec, db.mem)
 		if err != nil {
 			return err
 		}
@@ -340,6 +411,9 @@ func (db *DB) Write(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
+	if !db.timing {
+		return db.write(b)
+	}
 	start := db.clock.Now()
 	err := db.write(b)
 	db.putHist.Record(db.clock.Now() - start)
@@ -347,10 +421,56 @@ func (db *DB) Write(b *Batch) error {
 }
 
 // write is Write's body; the wrapper measures commit latency (stall
-// time included — the tails Sec. 6.2 measures).
+// and queue time included — the tails Sec. 6.2 measures).
+//
+// The writer enqueues its batch and then races for commitMu.  The
+// winner is the leader: it drains everything queued so far and commits
+// the whole group.  A loser wakes up holding commitMu with its op
+// already resolved — or, if it got the lock before any leader served
+// it, becomes the leader itself.  Every op is therefore resolved by
+// exactly one leader, with no lost wakeups and no condition variable.
 func (db *DB) write(b *Batch) error {
 	db.throttle()
 
+	op := &commitOp{b: b}
+	db.qmu.Lock()
+	db.pendingQ = append(db.pendingQ, op)
+	db.qmu.Unlock()
+
+	var qstart time.Duration
+	if db.timing {
+		qstart = db.clock.Now()
+	}
+	db.commitMu.Lock()
+	if db.timing {
+		db.commitWait.Add(int64(db.clock.Now() - qstart))
+	}
+	if !op.done {
+		db.qmu.Lock()
+		group := db.pendingQ
+		db.pendingQ = nil
+		db.qmu.Unlock()
+		db.commitGroup(group)
+	}
+	db.commitMu.Unlock()
+	return op.err
+}
+
+// finishGroup resolves every op in the group.  Caller holds commitMu.
+func finishGroup(group []*commitOp, err error) {
+	for _, op := range group {
+		op.err = err
+		op.done = true
+	}
+}
+
+// commitGroup commits every queued batch as one WAL record: the leader
+// assigns consecutive sequence ranges across the group, appends (and,
+// when SyncWrites is on, syncs) once, applies all memtable inserts
+// outside db.mu, and only then publishes the new visible sequence —
+// so a reader can never observe part of a batch, and one fsync covers
+// the whole group.  Caller holds commitMu.
+func (db *DB) commitGroup(group []*commitOp) {
 	db.mu.Lock()
 	for !db.closed && !db.readonly && db.imm != nil &&
 		db.mem.ApproximateSize() >= db.opt.MemtableSize {
@@ -358,34 +478,64 @@ func (db *DB) write(b *Batch) error {
 	}
 	if db.closed {
 		db.mu.Unlock()
-		return ErrClosed
+		finishGroup(group, ErrClosed)
+		return
 	}
 	if db.readonly {
 		// Join keeps both the mode and the cause visible to errors.Is.
 		err := errors.Join(ErrReadOnly, db.bgErr)
 		db.mu.Unlock()
-		return err
+		finishGroup(group, err)
+		return
 	}
-	start := db.seq + 1
-	db.seq += kv.Seq(len(b.ops))
-	if err := db.walW.Append(b.encode(start)); err != nil {
-		db.mu.Unlock()
-		return err
+	mem, walW := db.mem, db.walW
+	db.mu.Unlock()
+
+	// One record of concatenated batch encodings; recovery decodes
+	// them back-to-back (decodeRecordInto).
+	buf := db.walBuf[:0]
+	seq := db.seq
+	for _, op := range group {
+		buf = op.b.appendEncoded(buf, seq+1)
+		seq += kv.Seq(op.b.Len())
 	}
-	seq := start
-	for _, op := range b.ops {
-		db.mem.Add(seq, op.kind, op.key, op.val)
-		db.userBytes += int64(len(op.key) + len(op.val))
-		seq++
+	db.walBuf = buf
+	if err := walW.Append(buf); err != nil {
+		// The record may be partially durable; burn the sequence range
+		// so a replay after crash can never collide with a reuse.
+		db.seq = seq
+		finishGroup(group, err)
+		return
 	}
-	if db.mem.ApproximateSize() >= db.opt.MemtableSize && db.imm == nil {
-		if err := db.rotateLocked(); err != nil {
-			db.mu.Unlock()
-			return err
+
+	s := db.seq
+	var user int64
+	for _, op := range group {
+		for _, bop := range op.b.ops {
+			s++
+			mem.Add(s, bop.kind, bop.key, bop.val)
+			user += int64(len(bop.key) + len(bop.val))
 		}
 	}
-	db.mu.Unlock()
-	return nil
+	db.seq = s
+	db.userBytes.Add(user)
+	// Publish: every record at or below s is inserted, so readers may
+	// now see the whole group.
+	db.seqA.Store(uint64(s))
+
+	db.commitGroups.Inc()
+	db.commitBatches.Add(int64(len(group)))
+	db.groupSize.Record(time.Duration(len(group)))
+
+	var err error
+	if mem.ApproximateSize() >= db.opt.MemtableSize {
+		db.mu.Lock()
+		if db.mem == mem && db.imm == nil && !db.closed {
+			err = db.rotateLocked()
+		}
+		db.mu.Unlock()
+	}
+	finishGroup(group, err)
 }
 
 // throttle applies the engine's write-stall policy in the writer's own
@@ -452,6 +602,7 @@ func (db *DB) rotateLocked() error {
 	db.immWalNum = db.walNum
 	db.immLastSeq = db.seq
 	db.mem = memtable.New()
+	db.publishStateLocked()
 	db.walF = f
 	db.walW = wal.NewWriter(f)
 	db.walW.SetSync(db.opt.SyncWrites)
@@ -577,6 +728,7 @@ func (db *DB) drainImm() {
 		flushed = false
 		db.mu.Lock()
 		db.imm = nil
+		db.publishStateLocked()
 		db.cond.Broadcast()
 		db.mu.Unlock()
 		// The flushed log is re-deleted on next recovery if this
@@ -654,43 +806,84 @@ func (db *DB) CheckInvariants() error {
 	return nil
 }
 
-// Get returns the value for key, or ErrNotFound.
+// Get returns the value for key, or ErrNotFound.  The returned slice
+// is a fresh copy the caller may retain; use GetInto to reuse a buffer
+// across lookups.
 func (db *DB) Get(key []byte) ([]byte, error) {
+	if !db.timing {
+		return db.get(key)
+	}
 	start := db.clock.Now()
 	v, err := db.get(key)
 	db.getHist.Record(db.clock.Now() - start)
 	return v, err
 }
 
-func (db *DB) get(key []byte) ([]byte, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil, ErrClosed
+// GetInto appends the value for key to dst and returns the extended
+// slice — the copy-into-caller fast path that avoids the per-call
+// allocation Get makes.  dst may be nil.
+func (db *DB) GetInto(key, dst []byte) ([]byte, error) {
+	var start time.Duration
+	if db.timing {
+		start = db.clock.Now()
 	}
-	snap := db.seq
-	mem, imm := db.mem, db.imm
-	db.mu.Unlock()
-	return db.getAt(key, snap, mem, imm)
+	v, kind, err := db.getRaw(key)
+	if err == nil {
+		if kind == kv.KindDelete {
+			err = ErrNotFound
+		} else {
+			dst = append(dst, v...)
+		}
+	}
+	if db.timing {
+		db.getHist.Record(db.clock.Now() - start)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
-func (db *DB) getAt(key []byte, snap kv.Seq, mem, imm *memtable.MemTable) ([]byte, error) {
+func (db *DB) get(key []byte) ([]byte, error) {
+	v, kind, err := db.getRaw(key)
+	if err != nil {
+		return nil, err
+	}
+	return finishGet(v, kind)
+}
+
+// getRaw resolves key against the lock-free read snapshot: the visible
+// sequence is loaded first, then the state pointer.  The state may be
+// newer than the sequence but never older, and records only move down
+// the hierarchy, so the pair is always a consistent view that cannot
+// expose part of a batch.  The returned value aliases internal storage
+// and must be copied before the call returns to the user.
+func (db *DB) getRaw(key []byte) ([]byte, kv.Kind, error) {
+	if db.closedA.Load() {
+		return nil, 0, ErrClosed
+	}
+	snap := kv.Seq(db.seqA.Load())
+	st := db.state.Load()
+	return db.getRawAt(key, snap, st.mem, st.imm)
+}
+
+func (db *DB) getRawAt(key []byte, snap kv.Seq, mem, imm *memtable.MemTable) ([]byte, kv.Kind, error) {
 	if v, kind, _, found := mem.Get(key, snap); found {
-		return finishGet(v, kind)
+		return v, kind, nil
 	}
 	if imm != nil {
 		if v, kind, _, found := imm.Get(key, snap); found {
-			return finishGet(v, kind)
+			return v, kind, nil
 		}
 	}
 	v, kind, _, found, err := db.eng.Get(key, snap)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !found {
-		return nil, ErrNotFound
+		return nil, 0, ErrNotFound
 	}
-	return finishGet(v, kind)
+	return v, kind, nil
 }
 
 func finishGet(v []byte, kind kv.Kind) ([]byte, error) {
@@ -709,10 +902,16 @@ func (db *DB) Close() error {
 		return ErrClosed
 	}
 	db.closed = true
+	db.closedA.Store(true)
 	db.cond.Broadcast()
 	db.mu.Unlock()
 	close(db.quit)
 	db.wg.Wait()
+	// Barrier: wait out any in-flight commit leader so the WAL writer
+	// is idle before closing it.  Leaders that acquire commitMu later
+	// observe closed under db.mu and never touch the WAL.
+	db.commitMu.Lock()
+	db.commitMu.Unlock()
 	return errors.Join(db.walF.Close(), db.eng.Close())
 }
 
@@ -720,27 +919,10 @@ func (db *DB) Close() error {
 // compaction — the paper's "tuning phase" run to completion.  Used by
 // experiments before measuring stable performance.
 func (db *DB) CompactAll() error {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
-	}
-	// Wait out any in-flight background flush.
-	for db.imm != nil && !db.closed && !db.readonly {
-		db.cond.Wait()
-	}
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
-	}
-	if db.readonly {
-		err := errors.Join(ErrReadOnly, db.bgErr)
-		db.mu.Unlock()
+	mem, err := db.detachMem()
+	if err != nil {
 		return err
 	}
-	mem := db.mem
-	db.mem = memtable.New()
-	db.mu.Unlock()
 	if mem.Count() > 0 {
 		if err := db.eng.Flush(mem.NewIter()); err != nil {
 			return err
@@ -750,6 +932,33 @@ func (db *DB) CompactAll() error {
 		return d.DrainCompactions()
 	}
 	return nil
+}
+
+// detachMem quiesces the commit pipeline (no leader is mid-commit once
+// commitMu is held), waits out any in-flight background flush, and
+// swaps a fresh mutable memtable in, returning the detached one for
+// the caller to flush.
+func (db *DB) detachMem() (*memtable.MemTable, error) {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	db.mu.Lock()
+	for db.imm != nil && !db.closed && !db.readonly {
+		db.cond.Wait()
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if db.readonly {
+		err := errors.Join(ErrReadOnly, db.bgErr)
+		db.mu.Unlock()
+		return nil, err
+	}
+	mem := db.mem
+	db.mem = memtable.New()
+	db.publishStateLocked()
+	db.mu.Unlock()
+	return mem, nil
 }
 
 // MixedLevel reports IAM's current (m, k) tuning; zero for baselines.
@@ -764,26 +973,10 @@ func (db *DB) MixedLevel() (m, k int) {
 // flush to finish.  Reads are unaffected; use it before measuring
 // on-disk state or creating external copies.
 func (db *DB) Flush() error {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
-	}
-	for db.imm != nil && !db.closed && !db.readonly {
-		db.cond.Wait()
-	}
-	if db.closed {
-		db.mu.Unlock()
-		return ErrClosed
-	}
-	if db.readonly {
-		err := errors.Join(ErrReadOnly, db.bgErr)
-		db.mu.Unlock()
+	mem, err := db.detachMem()
+	if err != nil {
 		return err
 	}
-	mem := db.mem
-	db.mem = memtable.New()
-	db.mu.Unlock()
 	if mem.Count() == 0 {
 		return nil
 	}

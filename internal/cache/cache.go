@@ -28,8 +28,11 @@ type Cache struct {
 	hits   atomic.Int64
 	misses atomic.Int64
 
-	residentMu sync.Mutex
-	resident   map[uint64]int64 // table id -> resident bytes
+	// resident maps table id -> *atomic.Int64 of cached bytes.  The
+	// sync.Map plus per-table counters keep the hot Set/evict paths off
+	// any single lock: once a table's counter exists, adjustments are
+	// one atomic add, and the 16 shards never rendezvous.
+	resident sync.Map
 }
 
 type shard struct {
@@ -49,7 +52,7 @@ type entry struct {
 // yields a cache that stores nothing (every Get misses), modelling a
 // machine with no spare RAM.
 func New(capacity int64) *Cache {
-	c := &Cache{resident: make(map[uint64]int64)}
+	c := &Cache{}
 	per := capacity / numShards
 	for i := range c.shards {
 		c.shards[i] = shard{capacity: per, ll: list.New(), items: make(map[Key]*list.Element)}
@@ -112,16 +115,17 @@ func (c *Cache) Set(table, off uint64, data []byte) {
 	s.mu.Unlock()
 }
 
-// addResident adjusts per-table residency.  The residency map has its
-// own lock and is only ever taken while holding at most one shard lock
-// (lock order: shard -> resident), so there is no deadlock.
+// addResident adjusts per-table residency with one atomic add (after
+// a lock-free map hit on the steady state).  Counters are removed only
+// by EvictTable, so a table whose blocks cycle through the cache keeps
+// its counter — an empty counter is a few words, and table ids are not
+// reused within a run.
 func (c *Cache) addResident(table uint64, delta int64) {
-	c.residentMu.Lock()
-	c.resident[table] += delta
-	if c.resident[table] <= 0 {
-		delete(c.resident, table)
+	v, ok := c.resident.Load(table)
+	if !ok {
+		v, _ = c.resident.LoadOrStore(table, new(atomic.Int64))
 	}
-	c.residentMu.Unlock()
+	v.(*atomic.Int64).Add(delta)
 }
 
 // EvictTable removes every block of a table, e.g. after the table file
@@ -137,12 +141,12 @@ func (c *Cache) EvictTable(table uint64) {
 				s.ll.Remove(el)
 				delete(s.items, e.key)
 				s.used -= int64(len(e.data))
-				c.addResident(table, -int64(len(e.data)))
 			}
 			el = next
 		}
 		s.mu.Unlock()
 	}
+	c.resident.Delete(table)
 }
 
 // Used reports total cached bytes.
@@ -160,9 +164,10 @@ func (c *Cache) Used() int64 {
 // ResidentBytes reports how many bytes of the given table are cached.
 // This is the deterministic analogue of the paper's mincore sampling.
 func (c *Cache) ResidentBytes(table uint64) int64 {
-	c.residentMu.Lock()
-	defer c.residentMu.Unlock()
-	return c.resident[table]
+	if v, ok := c.resident.Load(table); ok {
+		return v.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // HitRate reports the fraction of Gets served from cache, and the raw

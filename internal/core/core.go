@@ -484,10 +484,12 @@ func (t *Tree) NewIter() iterator.Iterator {
 	kids := make([]iterator.Iterator, 0, t.n())
 	for i := 1; i <= t.n(); i++ {
 		nodes := append([]*node(nil), t.levels[i]...)
-		for _, nd := range nodes {
+		rngs := make([]kv.Range, len(nodes))
+		for j, nd := range nodes {
 			nd.refs++
+			rngs[j] = nd.rng
 		}
-		kids = append(kids, &levelIter{t: t, nodes: nodes})
+		kids = append(kids, &levelIter{t: t, nodes: nodes, rngs: rngs})
 	}
 	return iterator.NewMerging(kv.CompareInternal, kids...)
 }
@@ -591,8 +593,12 @@ func (t *Tree) checkInvariantsLocked() error {
 // and sorted, so concatenation preserves order).  It holds a reference
 // on every node until Close.
 type levelIter struct {
-	t      *Tree
-	nodes  []*node
+	t     *Tree
+	nodes []*node
+	// rngs are the node ranges captured at creation under Tree.mu: a
+	// concurrent append may widen a live node's range, and the iterator
+	// is a point-in-time view, so it routes by the ranges it saw.
+	rngs   []kv.Range
 	idx    int
 	cur    iterator.Iterator
 	err    error
@@ -623,7 +629,7 @@ func (l *levelIter) Seek(target []byte) {
 	l.err = nil
 	u := kv.UserKey(target)
 	i := sort.Search(len(l.nodes), func(j int) bool {
-		return kv.CompareUser(u, l.nodes[j].rng.Hi) <= 0
+		return kv.CompareUser(u, l.rngs[j].Hi) <= 0
 	})
 	l.open(i)
 	if l.cur != nil {
@@ -719,7 +725,7 @@ func (l *levelIter) SeekForPrev(target []byte) {
 	u := kv.UserKey(target)
 	// Last node whose range starts at or below the target key.
 	i := sort.Search(len(l.nodes), func(j int) bool {
-		return kv.CompareUser(l.nodes[j].rng.Lo, u) > 0
+		return kv.CompareUser(l.rngs[j].Lo, u) > 0
 	}) - 1
 	if i < 0 {
 		l.cur = nil

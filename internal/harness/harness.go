@@ -149,6 +149,15 @@ var metricsSink func(MetricsRecord)
 // safe to call while experiments are running.
 func SetMetricsSink(fn func(MetricsRecord)) { metricsSink = fn }
 
+// Report feeds one record to the installed sink, for experiments that
+// run a DB outside a harness Env (e.g. the wall-clock contention
+// benchmark in cmd/iambench).  A no-op without a sink.
+func Report(r MetricsRecord) {
+	if metricsSink != nil {
+		metricsSink(r)
+	}
+}
+
 // Close shuts the environment down, reporting final metrics to the
 // sink if one is installed.
 func (e *Env) Close() error {

@@ -1,0 +1,78 @@
+package memtable
+
+import "sync/atomic"
+
+// The arena carves node structs and key/value bytes out of chunked
+// slabs with atomic bump-pointer allocation, so concurrent Add callers
+// never contend on a lock and the skiplist's nodes stay dense in
+// memory.  Chunks are append-only: once a byte range or node slot is
+// handed out it is written exactly once by its allocator and then
+// published to readers through an atomic pointer CAS, which is the
+// happens-before edge that makes the write-once contents safe to read
+// without synchronization.
+//
+// A chunk that fills up is replaced by CAS-installing a fresh one; the
+// loser of a racing install simply retries against the winner's chunk.
+// The tail of a replaced chunk is wasted, which is fine: chunks are
+// large relative to records and the memtable's lifetime is bounded by
+// its capacity threshold Ct.
+
+const (
+	// byteChunkSize is the slab size for key/value bytes.  Values
+	// larger than a slab get a dedicated chunk of their exact size.
+	byteChunkSize = 64 << 10
+	// nodeChunkLen is the number of skiplist nodes per slab.
+	nodeChunkLen = 256
+)
+
+type byteChunk struct {
+	buf []byte
+	off atomic.Int64
+}
+
+type nodeChunk struct {
+	nodes []node
+	off   atomic.Int64
+}
+
+type arena struct {
+	bytes atomic.Pointer[byteChunk]
+	nodes atomic.Pointer[nodeChunk]
+}
+
+func newArena() *arena {
+	a := &arena{}
+	a.bytes.Store(&byteChunk{buf: make([]byte, byteChunkSize)})
+	a.nodes.Store(&nodeChunk{nodes: make([]node, nodeChunkLen)})
+	return a
+}
+
+// alloc returns a fresh, zeroed n-byte slice carved from the arena.
+// The slice is full-length and capacity-capped so appends can never
+// bleed into a neighbouring allocation.
+func (a *arena) alloc(n int) []byte {
+	for {
+		c := a.bytes.Load()
+		end := c.off.Add(int64(n))
+		if end <= int64(len(c.buf)) {
+			return c.buf[end-int64(n) : end : end]
+		}
+		size := byteChunkSize
+		if n > size {
+			size = n
+		}
+		a.bytes.CompareAndSwap(c, &byteChunk{buf: make([]byte, size)})
+	}
+}
+
+// newNode returns a pointer to a fresh, zeroed node.
+func (a *arena) newNode() *node {
+	for {
+		c := a.nodes.Load()
+		i := c.off.Add(1) - 1
+		if i < int64(len(c.nodes)) {
+			return &c.nodes[i]
+		}
+		a.nodes.CompareAndSwap(c, &nodeChunk{nodes: make([]node, nodeChunkLen)})
+	}
+}

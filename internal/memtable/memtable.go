@@ -1,13 +1,22 @@
 // Package memtable implements the in-memory level L0 of LSA/IAM and the
-// memtable of the LSM baselines: a skiplist ordered by internal key.
-// Records accumulate here until the table reaches its capacity threshold
-// Ct, whereupon it becomes an immutable memtable and is flushed to disk
-// (Sec. 5.2).
+// memtable of the LSM baselines: a lock-free skiplist ordered by
+// internal key.  Records accumulate here until the table reaches its
+// capacity threshold Ct, whereupon it becomes an immutable memtable and
+// is flushed to disk (Sec. 5.2).
+//
+// Concurrency model (LevelDB/Pebble style, extended to many writers):
+// nodes and their key/value bytes are carved from a chunked arena,
+// written exactly once, and then published by CAS-ing the predecessor's
+// next pointer.  Readers and iterators traverse with atomic loads only
+// and never block; concurrent Add callers contend only on the CAS of
+// the splice point they are inserting at.  A reader that observes a
+// node through a next pointer is guaranteed (by the CAS release/acquire
+// edge) to see the node's fully-written ikey and value.
 package memtable
 
 import (
 	"math/rand"
-	"sync"
+	"sync/atomic"
 
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
@@ -18,53 +27,75 @@ const (
 	branching = 4
 )
 
+// heightTab replays the height stream of the historical single-writer
+// skiplist (a seeded math/rand source drawn under its lock), so tower
+// heights — and therefore ApproximateSize, which structural tests and
+// flush boundaries depend on — stay byte-for-byte identical while the
+// draw itself becomes one atomic add.  The table cycles after 2^18
+// inserts, which only recycles the distribution, never a lock.
+const heightTabLen = 1 << 18
+
+var heightTab = func() []uint8 {
+	rnd := rand.New(rand.NewSource(0xdeadbeef))
+	t := make([]uint8, heightTabLen)
+	for i := range t {
+		h := uint8(1)
+		for h < maxHeight && rnd.Intn(branching) == 0 {
+			h++
+		}
+		t[i] = h
+	}
+	return t
+}()
+
+// node is an atomically-published skiplist element: ikey, value and
+// height are written once by the inserting goroutine before the node is
+// linked; next pointers are the only mutable fields and are accessed
+// atomically.
 type node struct {
-	ikey  []byte
-	value []byte
-	next  []*node
+	ikey   []byte
+	value  []byte
+	height int32
+	next   [maxHeight]atomic.Pointer[node]
 }
 
-// MemTable is a skiplist of internal keys.  Concurrent readers are safe
-// with one writer; the DB layer serializes writers.
+// MemTable is a skiplist of internal keys.  All methods are safe for
+// concurrent use by any number of readers and writers.
 type MemTable struct {
-	mu     sync.RWMutex
+	arena  *arena
 	head   *node
-	height int
-	rnd    *rand.Rand
-	size   int64
-	count  int
+	height atomic.Int32
+	hidx   atomic.Uint64
+	size   atomic.Int64
+	count  atomic.Int64
 }
 
 // New returns an empty memtable.
 func New() *MemTable {
-	return &MemTable{
-		head:   &node{next: make([]*node, maxHeight)},
-		height: 1,
-		rnd:    rand.New(rand.NewSource(0xdeadbeef)),
-	}
+	a := newArena()
+	head := a.newNode()
+	head.height = maxHeight
+	m := &MemTable{arena: a, head: head}
+	m.height.Store(1)
+	return m
 }
 
+// randomHeight draws a tower height with P(h+1|h) = 1/branching: one
+// atomic add walks the precomputed stream, so concurrent draws are
+// race-free and the sequence stays deterministic per insertion order.
 func (m *MemTable) randomHeight() int {
-	h := 1
-	for h < maxHeight && m.rnd.Intn(branching) == 0 {
-		h++
-	}
-	return h
+	return int(heightTab[(m.hidx.Add(1)-1)%heightTabLen])
 }
 
-// findGreaterOrEqual returns the first node with ikey >= key, filling
-// prev with the rightmost node before it on each level when prev != nil.
-func (m *MemTable) findGreaterOrEqual(key []byte, prev []*node) *node {
+// findGreaterOrEqual returns the first node with ikey >= key.
+func (m *MemTable) findGreaterOrEqual(key []byte) *node {
 	x := m.head
-	level := m.height - 1
+	level := int(m.height.Load()) - 1
 	for {
-		next := x.next[level]
+		next := x.next[level].Load()
 		if next != nil && kv.CompareInternal(next.ikey, key) < 0 {
 			x = next
 			continue
-		}
-		if prev != nil {
-			prev[level] = x
 		}
 		if level == 0 {
 			return next
@@ -73,36 +104,82 @@ func (m *MemTable) findGreaterOrEqual(key []byte, prev []*node) *node {
 	}
 }
 
-// Add inserts a record.  Internal keys are unique (sequence numbers
-// never repeat), so Add never overwrites.
-func (m *MemTable) Add(seq kv.Seq, kind kv.Kind, ukey, value []byte) {
-	ikey := kv.MakeInternalKey(ukey, seq, kind)
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	prev := make([]*node, maxHeight)
-	m.findGreaterOrEqual(ikey, prev)
-	h := m.randomHeight()
-	if h > m.height {
-		for i := m.height; i < h; i++ {
-			prev[i] = m.head
+// findSpliceFrom walks level from start (which must sort before key)
+// and returns the insertion point: the last node < key and its
+// successor.
+func (m *MemTable) findSpliceFrom(start *node, key []byte, level int) (prev, next *node) {
+	p := start
+	for {
+		n := p.next[level].Load()
+		if n == nil || kv.CompareInternal(n.ikey, key) >= 0 {
+			return p, n
 		}
-		m.height = h
+		p = n
 	}
-	n := &node{ikey: ikey, value: append([]byte(nil), value...), next: make([]*node, h)}
-	for i := 0; i < h; i++ {
-		n.next[i] = prev[i].next[i]
-		prev[i].next[i] = n
+}
+
+// findSplices computes the per-level insertion points for key.
+func (m *MemTable) findSplices(key []byte, prev, next *[maxHeight]*node) {
+	lh := int(m.height.Load())
+	for i := lh; i < maxHeight; i++ {
+		prev[i], next[i] = m.head, nil
 	}
-	m.size += int64(len(ikey) + len(value) + 16*h)
-	m.count++
+	x := m.head
+	for level := lh - 1; level >= 0; level-- {
+		p, n := m.findSpliceFrom(x, key, level)
+		prev[level], next[level] = p, n
+		x = p
+	}
+}
+
+// Add inserts a record.  Internal keys are unique (sequence numbers
+// never repeat within a memtable), so Add never overwrites.  Concurrent
+// Add callers never block readers; a failed CAS re-searches only the
+// level it lost.
+func (m *MemTable) Add(seq kv.Seq, kind kv.Kind, ukey, value []byte) {
+	kbuf := m.arena.alloc(len(ukey) + kv.TrailerLen)
+	ikey := kv.AppendInternalKey(kbuf[:0], ukey, seq, kind)
+	var val []byte
+	if len(value) > 0 {
+		val = m.arena.alloc(len(value))
+		copy(val, value)
+	}
+	h := m.randomHeight()
+	n := m.arena.newNode()
+	n.ikey, n.value, n.height = ikey, val, int32(h)
+
+	// Raise the list height first; a reader that sees the new height
+	// before the node links just walks empty upper levels.
+	for {
+		lh := m.height.Load()
+		if int32(h) <= lh || m.height.CompareAndSwap(lh, int32(h)) {
+			break
+		}
+	}
+
+	var prev, next [maxHeight]*node
+	m.findSplices(ikey, &prev, &next)
+	// Link bottom-up: once level 0 succeeds the node is visible to
+	// every search; upper levels are an acceleration structure and may
+	// lag briefly.
+	for level := 0; level < h; level++ {
+		p, x := prev[level], next[level]
+		for {
+			n.next[level].Store(x)
+			if p.next[level].CompareAndSwap(x, n) {
+				break
+			}
+			p, x = m.findSpliceFrom(p, ikey, level)
+		}
+	}
+	m.size.Add(int64(len(ikey) + len(value) + 16*h))
+	m.count.Add(1)
 }
 
 // Get returns the newest record for ukey visible at snapshot snap.
 func (m *MemTable) Get(ukey []byte, snap kv.Seq) (value []byte, kind kv.Kind, seq kv.Seq, found bool) {
 	target := kv.MakeInternalKey(ukey, snap, kv.KindSet)
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	n := m.findGreaterOrEqual(target, nil)
+	n := m.findGreaterOrEqual(target)
 	if n == nil {
 		return nil, 0, 0, false
 	}
@@ -115,25 +192,17 @@ func (m *MemTable) Get(ukey []byte, snap kv.Seq) (value []byte, kind kv.Kind, se
 
 // ApproximateSize reports the bytes the table occupies, the quantity
 // compared against the capacity threshold Ct.
-func (m *MemTable) ApproximateSize() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.size
-}
+func (m *MemTable) ApproximateSize() int64 { return m.size.Load() }
 
 // Count reports the number of records.
-func (m *MemTable) Count() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.count
-}
+func (m *MemTable) Count() int { return int(m.count.Load()) }
 
 // Empty reports whether the table has no records.
 func (m *MemTable) Empty() bool { return m.Count() == 0 }
 
 // NewIter iterates the table in internal-key order.  The iterator sees
-// a live view; engines only iterate immutable memtables, so this is
-// safe in practice.
+// a live view and never blocks writers; records inserted after a
+// positioning call may or may not be observed.
 func (m *MemTable) NewIter() iterator.Iterator { return &iter{m: m} }
 
 type iter struct {
@@ -142,25 +211,15 @@ type iter struct {
 }
 
 // First implements iterator.Iterator.
-func (it *iter) First() {
-	it.m.mu.RLock()
-	it.n = it.m.head.next[0]
-	it.m.mu.RUnlock()
-}
+func (it *iter) First() { it.n = it.m.head.next[0].Load() }
 
 // Seek implements iterator.Iterator.
-func (it *iter) Seek(target []byte) {
-	it.m.mu.RLock()
-	it.n = it.m.findGreaterOrEqual(target, nil)
-	it.m.mu.RUnlock()
-}
+func (it *iter) Seek(target []byte) { it.n = it.m.findGreaterOrEqual(target) }
 
 // Next implements iterator.Iterator.
 func (it *iter) Next() {
 	if it.n != nil {
-		it.m.mu.RLock()
-		it.n = it.n.next[0]
-		it.m.mu.RUnlock()
+		it.n = it.n.next[0].Load()
 	}
 }
 
@@ -192,9 +251,9 @@ func (it *iter) Close() error { return nil }
 // findLessThan returns the last node with ikey < key, or nil.
 func (m *MemTable) findLessThan(key []byte) *node {
 	x := m.head
-	level := m.height - 1
+	level := int(m.height.Load()) - 1
 	for {
-		next := x.next[level]
+		next := x.next[level].Load()
 		if next != nil && kv.CompareInternal(next.ikey, key) < 0 {
 			x = next
 			continue
@@ -212,9 +271,9 @@ func (m *MemTable) findLessThan(key []byte) *node {
 // findLast returns the final node, or nil when empty.
 func (m *MemTable) findLast() *node {
 	x := m.head
-	level := m.height - 1
+	level := int(m.height.Load()) - 1
 	for {
-		next := x.next[level]
+		next := x.next[level].Load()
 		if next != nil {
 			x = next
 			continue
@@ -230,11 +289,7 @@ func (m *MemTable) findLast() *node {
 }
 
 // Last implements iterator.ReverseIterator.
-func (it *iter) Last() {
-	it.m.mu.RLock()
-	it.n = it.m.findLast()
-	it.m.mu.RUnlock()
-}
+func (it *iter) Last() { it.n = it.m.findLast() }
 
 // Prev implements iterator.ReverseIterator.  Skiplists have forward
 // pointers only, so each step re-descends from the head (O(log n), the
@@ -243,19 +298,15 @@ func (it *iter) Prev() {
 	if it.n == nil {
 		return
 	}
-	it.m.mu.RLock()
 	it.n = it.m.findLessThan(it.n.ikey)
-	it.m.mu.RUnlock()
 }
 
 // SeekForPrev implements iterator.ReverseIterator.
 func (it *iter) SeekForPrev(target []byte) {
-	it.m.mu.RLock()
-	n := it.m.findGreaterOrEqual(target, nil)
+	n := it.m.findGreaterOrEqual(target)
 	if n != nil && kv.CompareInternal(n.ikey, target) == 0 {
 		it.n = n
 	} else {
 		it.n = it.m.findLessThan(target)
 	}
-	it.m.mu.RUnlock()
 }

@@ -151,6 +151,94 @@ func TestConcurrentReadDuringWrite(t *testing.T) {
 	}
 }
 
+// TestConcurrentWriters hammers the lock-free skiplist with many
+// writers, readers and iterator walkers at once, then checks that every
+// insert landed and the list is perfectly ordered.
+func TestConcurrentWriters(t *testing.T) {
+	m := New()
+	const writers, perWriter = 8, 2000
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				seq := kv.Seq(w*perWriter + i + 1)
+				k := []byte(fmt.Sprintf("w%d-k%05d", w, i))
+				m.Add(seq, kv.KindSet, k, []byte(fmt.Sprintf("val-%d-%d", w, i)))
+			}
+		}(w)
+	}
+	for g := 0; g < 2; g++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			rng := rand.New(rand.NewSource(7))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("w%d-k%05d", rng.Intn(writers), rng.Intn(perWriter)))
+				if v, _, _, found := m.Get(k, kv.MaxSeq); found && len(v) == 0 {
+					t.Error("found key with empty value")
+					return
+				}
+			}
+		}()
+	}
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			it := m.NewIter()
+			var last []byte
+			for it.First(); it.Valid(); it.Next() {
+				if last != nil && kv.CompareInternal(last, it.Key()) >= 0 {
+					t.Error("iterator out of order during concurrent writes")
+					return
+				}
+				last = append(last[:0], it.Key()...)
+			}
+		}
+	}()
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+	if m.Count() != writers*perWriter {
+		t.Fatalf("count %d, want %d", m.Count(), writers*perWriter)
+	}
+	it := m.NewIter()
+	n := 0
+	var last []byte
+	for it.First(); it.Valid(); it.Next() {
+		if last != nil && kv.CompareInternal(last, it.Key()) >= 0 {
+			t.Fatalf("final list out of order at %q", it.Key())
+		}
+		last = append(last[:0], it.Key()...)
+		n++
+	}
+	if n != writers*perWriter {
+		t.Fatalf("iterated %d records, want %d", n, writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i += 97 {
+			k := []byte(fmt.Sprintf("w%d-k%05d", w, i))
+			v, _, _, found := m.Get(k, kv.MaxSeq)
+			if !found || string(v) != fmt.Sprintf("val-%d-%d", w, i) {
+				t.Fatalf("lost insert %q (found=%v v=%q)", k, found, v)
+			}
+		}
+	}
+}
+
 func TestGetMatchesMapSemantics(t *testing.T) {
 	f := func(ops []struct {
 		Key byte

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync/atomic"
 
 	"iamdb/internal/vfs"
 )
@@ -42,11 +43,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // tail as a clean end of log, matching LevelDB's default recovery.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
-// Writer appends records to a log file.
+// Writer appends records to a log file.  Append is single-writer (the
+// DB's commit leader owns it); Offset may be read concurrently with an
+// in-flight Append, which is why the byte count is atomic.
 type Writer struct {
 	f         vfs.File
 	blockOff  int // bytes used in the current block
-	written   int64
+	written   atomic.Int64
 	buf       []byte
 	syncEvery bool
 }
@@ -70,7 +73,7 @@ func (w *Writer) Append(rec []byte) error {
 				if _, err := w.f.Write(make([]byte, avail)); err != nil {
 					return err
 				}
-				w.written += int64(avail)
+				w.written.Add(int64(avail))
 			}
 			w.blockOff = 0
 			avail = BlockSize
@@ -106,7 +109,7 @@ func (w *Writer) Append(rec []byte) error {
 			return err
 		}
 		w.blockOff += headerSize + len(frag)
-		w.written += int64(headerSize + len(frag))
+		w.written.Add(int64(headerSize + len(frag)))
 
 		if last {
 			if w.syncEvery {
@@ -123,7 +126,7 @@ func (w *Writer) Sync() error { return w.f.Sync() }
 
 // Offset reports the bytes written to this log so far, including
 // fragment headers and block padding.
-func (w *Writer) Offset() int64 { return w.written }
+func (w *Writer) Offset() int64 { return w.written.Load() }
 
 // Reader replays records from a log file.
 type Reader struct {

@@ -1,6 +1,8 @@
 package iamdb
 
 import (
+	"time"
+
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 )
@@ -30,13 +32,18 @@ type Iterator struct {
 // number.  A scan merges both memtables and, per level, every sequence
 // of at most one node (Sec. 5.2).
 func (db *DB) NewIterator() *Iterator {
-	db.mu.Lock()
-	snap := db.seq
-	kids := []iterator.Iterator{db.mem.NewIter()}
-	if db.imm != nil {
-		kids = append(kids, db.imm.NewIter())
+	return db.newIteratorAt(kv.Seq(db.seqA.Load()))
+}
+
+// newIteratorAt builds the merged iterator from the lock-free read
+// snapshot — the sequence must have been loaded before the state so
+// the view covers it (see getRaw).
+func (db *DB) newIteratorAt(snap kv.Seq) *Iterator {
+	st := db.state.Load()
+	kids := []iterator.Iterator{st.mem.NewIter()}
+	if st.imm != nil {
+		kids = append(kids, st.imm.NewIter())
 	}
-	db.mu.Unlock()
 	kids = append(kids, db.eng.NewIter())
 	return &Iterator{
 		db:   db,
@@ -48,20 +55,30 @@ func (db *DB) NewIterator() *Iterator {
 // First positions at the smallest live key.  Positioning latency
 // (First and Seek) feeds the DB's scan histogram.
 func (it *Iterator) First() {
-	start := it.db.clock.Now()
+	var start time.Duration
+	if it.db.timing {
+		start = it.db.clock.Now()
+	}
 	it.backward = false
 	it.in.First()
 	it.advance(nil)
-	it.db.scanHist.Record(it.db.clock.Now() - start)
+	if it.db.timing {
+		it.db.scanHist.Record(it.db.clock.Now() - start)
+	}
 }
 
 // Seek positions at the first live key >= ukey.
 func (it *Iterator) Seek(ukey []byte) {
-	start := it.db.clock.Now()
+	var start time.Duration
+	if it.db.timing {
+		start = it.db.clock.Now()
+	}
 	it.backward = false
 	it.in.Seek(kv.MakeInternalKey(ukey, it.snap, kv.KindSet))
 	it.advance(nil)
-	it.db.scanHist.Record(it.db.clock.Now() - start)
+	if it.db.timing {
+		it.db.scanHist.Record(it.db.clock.Now() - start)
+	}
 }
 
 // Next advances past the current key to the next live key.

@@ -58,6 +58,18 @@ type Metrics struct {
 	StallCount int64
 	StallTime  time.Duration
 
+	// CommitGroups counts leader-led group commits (one WAL record,
+	// one sync each), and CommitBatches the batches committed through
+	// them; their ratio is the mean group size.
+	CommitGroups  int64
+	CommitBatches int64
+	// CommitWait is the cumulative time writers spent queued behind a
+	// commit leader (populated when a clock or listener is attached).
+	CommitWait time.Duration
+	// GroupSize digests batches-per-group: the histogram records one
+	// observation per group on an integer scale where 1ns = 1 batch.
+	GroupSize histogram.Summary
+
 	// Put, Get and Scan are operation latency digests (put covers the
 	// whole batch commit, stall time included; scan covers iterator
 	// positioning).
@@ -75,15 +87,24 @@ func (m Metrics) WriteAmplification() float64 {
 	return float64(m.Engine.TotalFlushBytes()) / float64(m.UserBytes)
 }
 
+// MeanCommitGroupSize is the average number of batches a commit leader
+// coalesced into one WAL record.
+func (m Metrics) MeanCommitGroupSize() float64 {
+	if m.CommitGroups == 0 {
+		return 0
+	}
+	return float64(m.CommitBatches) / float64(m.CommitGroups)
+}
+
 // Metrics returns a snapshot of the DB's statistics.
 func (db *DB) Metrics() Metrics {
-	db.mu.Lock()
-	user := db.userBytes
-	memBytes := db.mem.ApproximateSize()
+	st := db.state.Load()
+	memBytes := st.mem.ApproximateSize()
 	imm := 0
-	if db.imm != nil {
+	if st.imm != nil {
 		imm = 1
 	}
+	db.mu.Lock()
 	walNum := db.walNum
 	walBytes := db.walRetired
 	if db.walW != nil {
@@ -95,7 +116,7 @@ func (db *DB) Metrics() Metrics {
 		Engine:             db.eng.Stats(),
 		Levels:             db.eng.Levels(),
 		SpaceUsed:          db.eng.SpaceUsed(),
-		UserBytes:          user,
+		UserBytes:          db.userBytes.Load(),
 		CacheHitRate:       rate,
 		MemtableBytes:      memBytes,
 		ImmutableMemtables: imm,
@@ -105,6 +126,10 @@ func (db *DB) Metrics() Metrics {
 		IO:                 db.io.Snapshot(),
 		StallCount:         db.stallCount.Load(),
 		StallTime:          time.Duration(db.stallNanos.Load()),
+		CommitGroups:       db.commitGroups.Load(),
+		CommitBatches:      db.commitBatches.Load(),
+		CommitWait:         time.Duration(db.commitWait.Load()),
+		GroupSize:          db.groupSize.Summary(),
 		Put:                db.putHist.Summary(),
 		Get:                db.getHist.Summary(),
 		Scan:               db.scanHist.Summary(),
@@ -167,6 +192,8 @@ func (m Metrics) String() string {
 		mb(m.MemtableBytes), m.ImmutableMemtables, m.WALNum, mb(m.WALBytes), m.WALRotations)
 	fmt.Fprintf(&b, "Block cache hit rate: %.1f%%\n", 100*m.CacheHitRate)
 	fmt.Fprintf(&b, "Write stalls: %d, total %v\n", m.StallCount, m.StallTime)
+	fmt.Fprintf(&b, "Commit pipeline: %d groups, %d batches (mean group %.2f), queue wait %v\n",
+		m.CommitGroups, m.CommitBatches, m.MeanCommitGroupSize(), m.CommitWait)
 	fmt.Fprintf(&b, "Device IO: %.1f MB written (%d ops), %.1f MB read (%d ops), %d seeks\n",
 		mb(m.IO.BytesWritten), m.IO.WriteOps, mb(m.IO.BytesRead), m.IO.ReadOps, m.IO.Seeks)
 	for _, h := range []struct {

@@ -6,16 +6,25 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"iamdb/internal/metrics"
+	"iamdb/internal/vfs"
 )
 
 // TestMetricsSmoke exercises the whole observability layer with the
 // invariants build tag on: a workload on every engine, then a snapshot
 // whose counters must be internally coherent and whose rendering must
-// contain the per-level table.
+// contain the per-level table.  The clock opts the DB into latency
+// timing (the default configuration skips it).
 func TestMetricsSmoke(t *testing.T) {
 	for _, e := range allEngines {
 		t.Run(e.String(), func(t *testing.T) {
-			db := openSmall(t, e)
+			opts := smallOpts(e, vfs.NewMemFS())
+			opts.Clock = new(metrics.ManualClock)
+			db, err := Open("db", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
 			defer db.Close()
 			val := make([]byte, 200)
 			for i := 0; i < 1500; i++ {

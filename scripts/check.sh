@@ -23,7 +23,8 @@ if go run ./cmd/iamlint \
     ./cmd/iamlint/testdata/lockbad \
     ./cmd/iamlint/testdata/ioerrbad \
     ./cmd/iamlint/testdata/determbad \
-    ./cmd/iamlint/testdata/aliasbad >/dev/null 2>&1; then
+    ./cmd/iamlint/testdata/aliasbad \
+    ./cmd/iamlint/testdata/atomicpubbad >/dev/null 2>&1; then
     echo "iamlint found nothing in the bad fixtures — the analyzer is broken"
     exit 1
 fi
@@ -39,6 +40,13 @@ echo "== hot-path allocation gate"
 # A disabled EventListener must add zero allocations per op to Get/Put.
 go test -run 'TestInstrumentationZeroAlloc|TestHotPathAllocations' -count=1 .
 go test -run TestConcurrentZeroAlloc -count=1 ./internal/histogram/
+
+echo "== commit-pipeline bench smoke"
+# One iteration proves the contention benchmark still compiles and
+# runs; real numbers come from -benchtime 2s or the iambench
+# concurrency experiment below.
+go test -bench ConcurrentCommit -benchtime 1x -run '^$' -count=1 .
+go run ./cmd/iambench -experiment concurrency -scale small -json .
 
 echo "== crash matrix (bounded)"
 # Systematic crash-point exploration: crash at sampled sync/write

@@ -1,7 +1,6 @@
 package iamdb
 
 import (
-	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
 )
 
@@ -16,12 +15,15 @@ type Snapshot struct {
 }
 
 // GetSnapshot captures the current state.  Callers must Release it.
+// The visible sequence comes from the lock-free read snapshot; only
+// the snapshot registry (which merges consult for their horizon) takes
+// a small dedicated lock, never db.mu.
 func (db *DB) GetSnapshot() *Snapshot {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s := &Snapshot{db: db, seq: db.seq}
+	s := &Snapshot{db: db, seq: kv.Seq(db.seqA.Load())}
+	db.snapMu.Lock()
 	db.snaps[s.seq]++
 	db.updateHorizonLocked()
+	db.snapMu.Unlock()
 	return s
 }
 
@@ -32,8 +34,8 @@ func (s *Snapshot) Release() {
 	}
 	s.released = true
 	db := s.db
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
 	if db.snaps[s.seq]--; db.snaps[s.seq] <= 0 {
 		delete(db.snaps, s.seq)
 	}
@@ -41,7 +43,8 @@ func (s *Snapshot) Release() {
 }
 
 // updateHorizonLocked pushes the oldest live snapshot (or "none") down
-// to the engine so merges know what they may drop.
+// to the engine so merges know what they may drop.  Caller holds
+// db.snapMu.
 func (db *DB) updateHorizonLocked() {
 	h := kv.MaxSeq
 	for seq := range db.snaps {
@@ -58,29 +61,18 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 		return nil, ErrClosed
 	}
 	db := s.db
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
+	if db.closedA.Load() {
 		return nil, ErrClosed
 	}
-	mem, imm := db.mem, db.imm
-	db.mu.Unlock()
-	return db.getAt(key, s.seq, mem, imm)
+	st := db.state.Load()
+	v, kind, err := db.getRawAt(key, s.seq, st.mem, st.imm)
+	if err != nil {
+		return nil, err
+	}
+	return finishGet(v, kind)
 }
 
 // NewIterator iterates the DB as of the snapshot.
 func (s *Snapshot) NewIterator() *Iterator {
-	db := s.db
-	db.mu.Lock()
-	kids := []iterator.Iterator{db.mem.NewIter()}
-	if db.imm != nil {
-		kids = append(kids, db.imm.NewIter())
-	}
-	db.mu.Unlock()
-	kids = append(kids, db.eng.NewIter())
-	return &Iterator{
-		db:   db,
-		in:   iterator.NewMerging(kv.CompareInternal, kids...),
-		snap: s.seq,
-	}
+	return s.db.newIteratorAt(s.seq)
 }
