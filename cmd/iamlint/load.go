@@ -39,6 +39,7 @@ type pkg struct {
 	fset  *token.FileSet
 	files []*ast.File
 	info  *types.Info
+	tpkg  *types.Package
 
 	// lineIgnores[file][line] holds passes suppressed at that line (a
 	// diagnostic is suppressed by a directive on its own line or the
@@ -48,6 +49,32 @@ type pkg struct {
 	// deterministic marks packages opted into the determinism pass by
 	// an //iamlint:deterministic directive (fixtures use this).
 	deterministic bool
+	// lockDecls are the package's //iamlint:lockorder directives,
+	// parsed by the lockorder pass.
+	lockDecls []lockDecl
+	// pending are diagnostics produced while scanning directives
+	// (malformed directives, unknown pass names).
+	pending []diag
+}
+
+// lockDecl is one unparsed //iamlint:lockorder directive.
+type lockDecl struct {
+	text string
+	pos  token.Position
+}
+
+// knownPasses validates pass names in suppression directives; a typo
+// there would silently suppress nothing.
+var knownPasses = map[string]bool{
+	"lockcheck":   true,
+	"ioerr":       true,
+	"determinism": true,
+	"alias":       true,
+	"atomicpub":   true,
+	"lockorder":   true,
+	"syncorder":   true,
+	"goexit":      true,
+	"directive":   true,
 }
 
 func (p *pkg) suppressed(pass string, pos token.Position) bool {
@@ -174,7 +201,7 @@ func parseAndCheck(fset *token.FileSet, imp types.Importer, t listPkg) (*pkg, er
 		// fixtures under construction) must not stop the passes.
 		Error: func(error) {},
 	}
-	_, _ = conf.Check(t.ImportPath, fset, p.files, p.info)
+	p.tpkg, _ = conf.Check(t.ImportPath, fset, p.files, p.info)
 	return p, nil
 }
 
@@ -192,17 +219,46 @@ func (p *pkg) scanDirectives(f *ast.File) {
 			case directive == "deterministic":
 				p.deterministic = true
 			case strings.HasPrefix(directive, "file-ignore "):
-				passes := splitPasses(strings.TrimPrefix(directive, "file-ignore "))
+				passes := p.checkPasses(splitPasses(strings.TrimPrefix(directive, "file-ignore ")), pos)
 				p.fileIgnores[pos.Filename] = append(p.fileIgnores[pos.Filename], passes...)
 			case strings.HasPrefix(directive, "ignore "):
-				passes := splitPasses(strings.TrimPrefix(directive, "ignore "))
+				passes := p.checkPasses(splitPasses(strings.TrimPrefix(directive, "ignore ")), pos)
 				if p.lineIgnores[pos.Filename] == nil {
 					p.lineIgnores[pos.Filename] = make(map[int][]string)
 				}
 				p.lineIgnores[pos.Filename][pos.Line] = append(p.lineIgnores[pos.Filename][pos.Line], passes...)
+			case strings.HasPrefix(directive, "lockorder "):
+				p.lockDecls = append(p.lockDecls, lockDecl{
+					text: strings.TrimPrefix(directive, "lockorder "),
+					pos:  pos,
+				})
+			default:
+				p.pending = append(p.pending, diag{
+					pass: "directive",
+					pos:  pos,
+					msg:  fmt.Sprintf("unknown iamlint directive %q (expect deterministic, ignore, file-ignore, or lockorder)", directive),
+				})
 			}
 		}
 	}
+}
+
+// checkPasses reports unknown pass names in a suppression directive —
+// a typo there would silently suppress nothing — and filters them out.
+func (p *pkg) checkPasses(passes []string, pos token.Position) []string {
+	out := passes[:0]
+	for _, name := range passes {
+		if !knownPasses[name] {
+			p.pending = append(p.pending, diag{
+				pass: "directive",
+				pos:  pos,
+				msg:  fmt.Sprintf("unknown pass %q in iamlint directive", name),
+			})
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
 }
 
 func splitPasses(s string) []string {

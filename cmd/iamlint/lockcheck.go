@@ -80,6 +80,47 @@ func (c *lockChecker) report(at token.Pos, key string, lockPos ast.Node) {
 	})
 }
 
+// otherModeKey flips the read/write mode suffix of a lock key.
+func otherModeKey(key string) string {
+	if strings.HasSuffix(key, "/w") {
+		return key[:len(key)-1] + "r"
+	}
+	return key[:len(key)-1] + "w"
+}
+
+// reportModeMismatch flags a release whose mode does not match the
+// acquisition still held: RLock released by Unlock (which would
+// corrupt an RWMutex's state) or Lock released by RUnlock.
+func (c *lockChecker) reportModeMismatch(at token.Pos, heldKey string) {
+	i := strings.LastIndexByte(heldKey, '/')
+	name, heldMode := heldKey[:i], heldKey[i+1:]
+	took, right, wrong := "Lock", "Unlock", "RUnlock"
+	if heldMode == "r" {
+		took, right, wrong = "RLock", "RUnlock", "Unlock"
+	}
+	c.emit(diag{
+		pass: "lockcheck",
+		pos:  c.p.fset.Position(at),
+		msg: fmt.Sprintf("%s.%s() released by %s() — mode mismatch, use %s.%s()",
+			name, took, wrong, name, right),
+	})
+}
+
+// releaseWithModeCheck removes key from held; if the same mutex is
+// held in the opposite mode instead, that is a mode-mismatched
+// release — report it and clear the mismatched entry so it is not
+// also reported as leaked.
+func (c *lockChecker) releaseWithModeCheck(at token.Pos, key string, held lockSet) {
+	if _, ok := held[key]; !ok && !c.deferred[key] {
+		other := otherModeKey(key)
+		if _, heldOther := held[other]; heldOther {
+			c.reportModeMismatch(at, other)
+			delete(held, other)
+		}
+	}
+	delete(held, key)
+}
+
 // lockCall classifies a call as Lock/RLock/Unlock/RUnlock on a
 // sync.Mutex or sync.RWMutex, returning the lock key and whether it
 // acquires (true) or releases (false).
@@ -144,7 +185,7 @@ func (c *lockChecker) checkBlock(stmts []ast.Stmt, held lockSet) lockSet {
 							held[key] = s
 						}
 					} else {
-						delete(held, key)
+						c.releaseWithModeCheck(s.Pos(), key, held)
 					}
 					continue
 				}
@@ -154,8 +195,8 @@ func (c *lockChecker) checkBlock(stmts []ast.Stmt, held lockSet) lockSet {
 			}
 		case *ast.DeferStmt:
 			for _, key := range deferredUnlocks(c, s) {
+				c.releaseWithModeCheck(s.Pos(), key, held)
 				c.deferred[key] = true
-				delete(held, key)
 			}
 		case *ast.ReturnStmt:
 			for key, pos := range held {

@@ -1,9 +1,13 @@
 // Command iamlint is the repo's custom static analyzer.  It enforces
 // invariants that generic tooling cannot know about — the discipline
-// the IAM-tree's concurrent compaction model depends on:
+// the IAM-tree's concurrent compaction model depends on.
+//
+// Intraprocedural passes (per package):
 //
 //	lockcheck    every mu.Lock() is released by a defer mu.Unlock() or
-//	             an Unlock on every return path of the same function
+//	             an Unlock on every return path of the same function,
+//	             and the release mode matches the acquire mode (an
+//	             RLock released by Unlock is flagged)
 //	ioerr        no call into internal/vfs, internal/wal, internal/table
 //	             or internal/manifest may silently discard an error
 //	             result (write `_ = f.Close()` to discard on purpose;
@@ -22,26 +26,52 @@
 //	             writes are allowed only on provably fresh values
 //	             (&T{...}, new(T), or a same-package new* constructor)
 //
-// Diagnostics print as "file:line: [pass] message" and the process
-// exits non-zero if any are found.  Suppression directives:
+// Interprocedural passes (whole program: per-function summaries plus
+// a type-resolved call graph where interface methods resolve to every
+// implementation in the linted packages):
+//
+//	lockorder    the inferred mutex-acquisition graph (which locks are
+//	             held when each other lock is taken, propagated through
+//	             calls) must match the //iamlint:lockorder declared
+//	             hierarchy; cycles and undeclared edges are potential
+//	             deadlocks
+//	syncorder    every interprocedural path reaching a manifest
+//	             append/edit must sync fresh table data first — the
+//	             static twin of the crash-matrix oracle
+//	goexit       every `go` statement needs a provable join: WaitGroup
+//	             Add before the spawn, Done in the body, Wait reachable
+//	             from Close/Shutdown/Stop/main
+//
+// Diagnostics print as "file:line: [pass] message" (or one JSON
+// object per line under -json) and the process exits 1 if any are
+// found, 2 if the packages fail to load, 0 when clean.  Directives:
 //
 //	//iamlint:ignore pass[,pass]       on the offending line or the line above
 //	//iamlint:file-ignore pass[,pass]  anywhere in a file, for the whole file
 //	//iamlint:deterministic            opts a package file into the
 //	                                   determinism pass scope (used by fixtures)
+//	//iamlint:lockorder A < B; X leaf; P internal
+//	                                   declares the lock hierarchy the
+//	                                   lockorder pass checks against
 //
-// Only the standard library is used: go/ast, go/parser, go/types and
-// `go list -export` for export data, in the style of go/packages.
+// An unknown pass name or directive kind is itself a diagnostic
+// (pass "directive").  Only the standard library is used: go/ast,
+// go/parser, go/types and `go list -export` for export data, in the
+// style of go/packages.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 )
 
 func main() {
-	args := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit one JSON diagnostic object per line")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -50,8 +80,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iamlint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			_ = enc.Encode(jsonDiag{
+				Pass: d.pass,
+				File: d.pos.Filename,
+				Line: d.pos.Line,
+				Msg:  d.msg,
+			})
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "iamlint: %d finding(s)\n", len(diags))
@@ -59,9 +101,18 @@ func main() {
 	}
 }
 
-// run loads the packages matched by patterns and applies every pass,
-// returning the rendered diagnostics in file:line order.
-func run(patterns []string) ([]string, error) {
+// jsonDiag is the -json wire form of one diagnostic.
+type jsonDiag struct {
+	Pass string `json:"pass"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Msg  string `json:"msg"`
+}
+
+// run loads the packages matched by patterns and applies every pass —
+// the per-package ones, then the interprocedural ones over the whole
+// loaded program — returning diagnostics in file:line order.
+func run(patterns []string) ([]diag, error) {
 	pkgs, err := load(patterns)
 	if err != nil {
 		return nil, err
@@ -70,6 +121,7 @@ func run(patterns []string) ([]string, error) {
 	for _, p := range pkgs {
 		all = append(all, analyze(p)...)
 	}
+	all = append(all, analyzeProgram(buildProgram(pkgs))...)
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].pos.Filename != all[j].pos.Filename {
 			return all[i].pos.Filename < all[j].pos.Filename
@@ -79,21 +131,29 @@ func run(patterns []string) ([]string, error) {
 		}
 		return all[i].msg < all[j].msg
 	})
-	out := make([]string, len(all))
-	for i, d := range all {
-		out[i] = d.String()
-	}
-	return out, nil
+	return all, nil
 }
 
-// analyze runs the five passes over one loaded package, honouring the
-// package's suppression directives.
+// render formats diagnostics the way main prints them.
+func render(diags []diag) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// analyze runs the per-package passes over one loaded package,
+// honouring the package's suppression directives.
 func analyze(p *pkg) []diag {
 	var diags []diag
 	emit := func(d diag) {
 		if !p.suppressed(d.pass, d.pos) {
 			diags = append(diags, d)
 		}
+	}
+	for _, d := range p.pending {
+		emit(d)
 	}
 	lockcheck(p, emit)
 	ioerr(p, emit)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,8 +15,18 @@ import (
 // `// want [pass] substring` comments on the line each diagnostic must
 // anchor to; the tests assert the emitted set matches exactly.
 
+// runRendered is run() + render(): the "file:line: [pass] msg" strings
+// main prints.
+func runRendered(patterns []string) ([]string, error) {
+	diags, err := run(patterns)
+	if err != nil {
+		return nil, err
+	}
+	return render(diags), nil
+}
+
 func TestGoodFixtureIsClean(t *testing.T) {
-	diags, err := run([]string{"./testdata/good"})
+	diags, err := runRendered([]string{"./testdata/good"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -29,7 +40,7 @@ func TestGoodFixtureIsClean(t *testing.T) {
 // through a Clock (disk clock, manual clock) without tripping the
 // wall-clock checks that still reject time.Now (see determbad).
 func TestDetermClockFixtureIsClean(t *testing.T) {
-	diags, err := run([]string{"./testdata/determclock"})
+	diags, err := runRendered([]string{"./testdata/determclock"})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -58,10 +69,13 @@ func TestDeterminismScope(t *testing.T) {
 }
 
 func TestBadFixtures(t *testing.T) {
-	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad", "atomicpubbad"} {
+	for _, dir := range []string{
+		"lockbad", "ioerrbad", "determbad", "aliasbad", "atomicpubbad",
+		"lockorderbad", "syncorderbad", "goexitbad",
+	} {
 		t.Run(dir, func(t *testing.T) {
 			pattern := "./testdata/" + dir
-			diags, err := run([]string{pattern})
+			diags, err := runRendered([]string{pattern})
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
@@ -76,16 +90,20 @@ func TestBadFixtures(t *testing.T) {
 // TestAllBadFixturesTogether mirrors how check.sh proves the tool's
 // exit path: linting every bad fixture at once must find everything.
 func TestAllBadFixturesTogether(t *testing.T) {
-	diags, err := run([]string{
+	diags, err := runRendered([]string{
 		"./testdata/lockbad", "./testdata/ioerrbad",
 		"./testdata/determbad", "./testdata/aliasbad",
-		"./testdata/atomicpubbad",
+		"./testdata/atomicpubbad", "./testdata/lockorderbad",
+		"./testdata/syncorderbad", "./testdata/goexitbad",
 	})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	want := 0
-	for _, dir := range []string{"lockbad", "ioerrbad", "determbad", "aliasbad", "atomicpubbad"} {
+	for _, dir := range []string{
+		"lockbad", "ioerrbad", "determbad", "aliasbad", "atomicpubbad",
+		"lockorderbad", "syncorderbad", "goexitbad",
+	} {
 		want += len(loadWants(t, filepath.Join("testdata", dir)))
 	}
 	if len(diags) != want {
@@ -159,6 +177,65 @@ outer:
 	for i, d := range diags {
 		if !matched[i] {
 			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestDirectiveValidation pins the directive pass: an unknown
+// directive kind and a misspelled pass name are diagnostics, and the
+// misspelled suppression leaves the underlying finding unsuppressed.
+func TestDirectiveValidation(t *testing.T) {
+	diags, err := runRendered([]string{"./testdata/directivebad"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	wants := []string{
+		`[directive] unknown iamlint directive "bogus knob"`,
+		`[directive] unknown pass "lockchek"`,
+		`[lockcheck] b.mu.Lock()`,
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wants), strings.Join(diags, "\n"))
+	}
+outer:
+	for _, w := range wants {
+		for _, d := range diags {
+			if strings.Contains(d, w) {
+				continue outer
+			}
+		}
+		t.Errorf("missing diagnostic containing %q in:\n%s", w, strings.Join(diags, "\n"))
+	}
+}
+
+// TestJSONOutput pins the -json wire form: one object per line with
+// pass, file, line and msg fields.
+func TestJSONOutput(t *testing.T) {
+	diags, err := run([]string{"./testdata/goexitbad"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) == 0 {
+		t.Fatal("goexitbad produced no diagnostics")
+	}
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	for _, d := range diags {
+		if err := enc.Encode(jsonDiag{Pass: d.pass, File: d.pos.Filename, Line: d.pos.Line, Msg: d.msg}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("got %d JSON lines for %d diagnostics", len(lines), len(diags))
+	}
+	for _, line := range lines {
+		var d jsonDiag
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if d.Pass == "" || d.File == "" || d.Line == 0 || d.Msg == "" {
+			t.Errorf("JSON diagnostic missing fields: %q", line)
 		}
 	}
 }

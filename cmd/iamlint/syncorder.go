@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+)
+
+// syncorder is the static twin of the crash-matrix oracle: along
+// every interprocedural path that reaches a manifest append/edit, the
+// fresh table data written earlier on that path must already have
+// been synced.  A crash between the manifest edit and the data sync
+// would otherwise recover a manifest referencing garbage.
+//
+// The contract checked is deliberately coarse — "no manifest edit
+// while ANY fresh unsynced table write is outstanding" — because the
+// analysis cannot tell which tables an edit references.  The repo's
+// flush/compaction paths all sync adjacent to the write, so the
+// coarse contract holds.  Two deliberate scope cuts: (*Table).AppendFrom
+// is not treated as a write (core.deliverToChild's widen-manifest-
+// range-then-sync protocol for appends into an existing node is the
+// documented inverse, safe because a wide range over old data is
+// harmless), and raw vfs writes (e.g. checkpoint's file copies) are
+// out of scope — only the table layer's Create/Append are tracked.
+func syncorder(pr *program, emit func(diag)) {
+	for _, n := range pr.order {
+		dirty := false
+		var writePos token.Pos
+		for _, ev := range n.sum.events {
+			switch ev.kind {
+			case evWrite:
+				dirty = true
+				writePos = ev.pos
+			case evSync:
+				dirty = false
+			case evEdit:
+				if dirty {
+					emit(syncDiag(pr, n, ev, writePos, nil))
+				}
+			case evCall:
+				for _, cn := range pr.callees(n, ev) {
+					if dirty && cn.sum.editsManifest {
+						emit(syncDiag(pr, n, ev, writePos, cn))
+						break
+					}
+				}
+				for _, cn := range pr.callees(n, ev) {
+					if cn.sum.dirtyAtExit {
+						dirty = true
+						writePos = ev.pos
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func syncDiag(pr *program, n *funcNode, ev sumEvent, writePos token.Pos, callee *funcNode) diag {
+	where := pr.fset.Position(writePos)
+	via := ""
+	if callee != nil {
+		via = fmt.Sprintf(" (reached via %s)", callee.label)
+	}
+	return diag{
+		pass: "syncorder",
+		pos:  pr.fset.Position(ev.pos),
+		msg: fmt.Sprintf("manifest edit%s while table data written at %s:%d is not yet synced — a crash here recovers a manifest referencing unsynced data; Sync before the edit",
+			via, filepath.Base(where.Filename), where.Line),
+	}
+}

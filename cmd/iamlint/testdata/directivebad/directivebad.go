@@ -1,0 +1,21 @@
+// Package directivebad exercises directive validation: an unknown
+// directive kind and a misspelled pass name are themselves
+// diagnostics, and a misspelled suppression suppresses nothing (the
+// underlying finding still fires).  TestDirectiveValidation asserts
+// the exact set.
+package directivebad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+//iamlint:bogus knob
+func unknownKind() {}
+
+func misspelledSuppression(b *box) {
+	b.mu.Lock() //iamlint:ignore lockchek
+	b.n++
+}

@@ -1,0 +1,50 @@
+// Package goexitbad holds goroutine-leak patterns the goexit pass
+// must flag: spawned workers with no provable join, so they can
+// outlive Close — the dead-worker bugs the crash harness only catches
+// dynamically.
+package goexitbad
+
+import "sync"
+
+type worker struct {
+	stop chan struct{}
+}
+
+func (w *worker) loop() {
+	<-w.stop
+}
+
+// Start spawns the loop with no WaitGroup discipline at all; closing
+// w.stop makes the goroutine exit eventually, but nothing waits for
+// it (channel quiesce is not modeled — a real join would use
+// //iamlint:ignore goexit).
+func (w *worker) Start() {
+	go w.loop() // want [goexit] no provable join
+}
+
+func (w *worker) Close() {
+	close(w.stop)
+}
+
+// fireAndForget leaks an anonymous goroutine.
+func fireAndForget(ch chan<- int) {
+	go func() { // want [goexit] no provable join
+		ch <- 1
+	}()
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) run() {
+	defer p.wg.Done()
+}
+
+// startLate has Done and Wait, but the Add happens after the spawn —
+// the window where Wait can return before the worker registered.
+func (p *pool) startLate() {
+	go p.run() // want [goexit] no matching Add before the spawn
+	p.wg.Add(1)
+	p.wg.Wait()
+}

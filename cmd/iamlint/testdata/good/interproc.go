@@ -1,0 +1,69 @@
+// Clean counterparts for the interprocedural passes: nested locks in
+// the declared order, the write-sync-edit durability protocol, a
+// WaitGroup-disciplined worker, and suppressions that work inside
+// function literals.
+//
+//iamlint:lockorder outer.mu < inner.mu
+package good
+
+import (
+	"sync"
+
+	"iamdb/internal/iterator"
+	"iamdb/internal/manifest"
+	"iamdb/internal/table"
+	"iamdb/internal/vfs"
+)
+
+type outer struct{ mu sync.Mutex }
+type inner struct{ mu sync.Mutex }
+
+// nested takes the locks in the declared direction.
+func (o *outer) nested(i *inner) {
+	o.mu.Lock()
+	i.mu.Lock()
+	i.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// writeSyncEdit is the durability protocol syncorder enforces: table
+// data is synced before the manifest references it.
+func writeSyncEdit(fs vfs.FS, man *manifest.Log, it iterator.Iterator) error {
+	t, err := table.Create(fs, "ok.mst", 9, 1<<20, table.Options{})
+	if err != nil {
+		return err
+	}
+	if _, err := t.Append(it); err != nil {
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	return man.Append(&manifest.Edit{})
+}
+
+// joined is the WaitGroup discipline goexit requires: Add before the
+// spawn, Done in the body, Wait reachable from Close.
+type joined struct {
+	wg sync.WaitGroup
+}
+
+func (j *joined) Start() {
+	j.wg.Add(1)
+	go func() {
+		defer j.wg.Done()
+	}()
+}
+
+func (j *joined) Close() {
+	j.wg.Wait()
+}
+
+// inLiteral proves suppression directives work inside function-literal
+// bodies, with a multi-pass list.
+func inLiteral(fs vfs.FS, name string) {
+	f := func() {
+		fs.Remove(name) //iamlint:ignore ioerr,alias
+	}
+	f()
+}

@@ -1,0 +1,24 @@
+package lockbad
+
+import "sync"
+
+type rwbox struct {
+	rw sync.RWMutex
+	n  int
+}
+
+// readThenWrongUnlock releases a read lock with the write-mode
+// Unlock, which corrupts the RWMutex's state.
+func (b *rwbox) readThenWrongUnlock() int {
+	b.rw.RLock()
+	v := b.n
+	b.rw.Unlock() // want [lockcheck] mode mismatch
+	return v
+}
+
+// writeThenWrongDefer defers the read-mode release of a write lock.
+func (b *rwbox) writeThenWrongDefer() {
+	b.rw.Lock()
+	defer b.rw.RUnlock() // want [lockcheck] mode mismatch
+	b.n++
+}

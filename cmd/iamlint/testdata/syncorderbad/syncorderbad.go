@@ -1,0 +1,56 @@
+// Package syncorderbad holds durability-ordering violations the
+// syncorder pass must flag: paths that reach a manifest append while
+// freshly written table data is not yet synced.  A crash between the
+// edit and the sync recovers a manifest referencing garbage.
+package syncorderbad
+
+import (
+	"iamdb/internal/iterator"
+	"iamdb/internal/manifest"
+	"iamdb/internal/table"
+	"iamdb/internal/vfs"
+)
+
+// unsyncedEdit appends the manifest record directly after writing
+// table data, with no Sync in between.
+func unsyncedEdit(fs vfs.FS, man *manifest.Log, it iterator.Iterator) error {
+	t, err := table.Create(fs, "t1.mst", 1, 1<<20, table.Options{})
+	if err != nil {
+		return err
+	}
+	if _, err := t.Append(it); err != nil {
+		return err
+	}
+	return man.Append(&manifest.Edit{}) // want [syncorder] not yet synced
+}
+
+func logEdit(man *manifest.Log) error {
+	return man.Append(&manifest.Edit{})
+}
+
+// viaHelper reaches the manifest edit through a helper call; the
+// interprocedural summary must see through it.
+func viaHelper(fs vfs.FS, man *manifest.Log) error {
+	t, err := table.Create(fs, "t2.mst", 2, 1<<20, table.Options{})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = t.Close() }()
+	return logEdit(man) // want [syncorder] reached via logEdit
+}
+
+// synced is the correct protocol — write, sync, then edit — and must
+// stay clean.
+func synced(fs vfs.FS, man *manifest.Log, it iterator.Iterator) error {
+	t, err := table.Create(fs, "t3.mst", 3, 1<<20, table.Options{})
+	if err != nil {
+		return err
+	}
+	if _, err := t.Append(it); err != nil {
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		return err
+	}
+	return man.Append(&manifest.Edit{})
+}

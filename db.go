@@ -106,7 +106,10 @@ type DB struct {
 	// becomes leader, drains the whole queue and commits it as one WAL
 	// record.  Everyone else finds its op already resolved when it gets
 	// the lock.  Lock order is commitMu before db.mu, never the
-	// reverse.
+	// reverse.  The declared hierarchy below is checked statically by
+	// iamlint's lockorder pass against the inferred acquisition graph.
+	//
+	//iamlint:lockorder commitMu < qmu; commitMu < iamdb.DB.mu; iamdb.DB.mu < vfs.*; qmu leaf
 	qmu      sync.Mutex
 	pendingQ []*commitOp
 	commitMu sync.Mutex

@@ -156,7 +156,10 @@ func (t *Tree) unref(nd *node) {
 
 // Tree is an LSA- or IAM-tree.  All exported methods are safe for
 // concurrent use; structural changes serialize on one mutex while reads
-// go through immutable node tables.
+// go through immutable node tables.  Filesystem-layer locks nest below
+// the tree mutex (manifest rotation renames under mu):
+//
+//iamlint:lockorder core.Tree.mu < vfs.*
 type Tree struct {
 	mu  sync.Mutex
 	cfg Config

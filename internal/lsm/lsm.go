@@ -114,7 +114,10 @@ type file struct {
 	refs int32
 }
 
-// DB is the baseline leveled LSM engine.
+// DB is the baseline leveled LSM engine.  Filesystem-layer locks nest
+// below the engine mutex (compaction writes files under mu):
+//
+//iamlint:lockorder lsm.DB.mu < vfs.*
 type DB struct {
 	mu  sync.Mutex
 	cfg Config

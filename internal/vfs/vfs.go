@@ -9,6 +9,13 @@
 //   - Disk: a virtual-clock disk model charging seek latency and
 //     transfer time per I/O, with HDD and SSD profiles, so throughput
 //     *shape* (who wins, by what factor) is reproducible on any machine.
+//
+// The wrappers stack (Stats over Crash over Mem, etc.), so vfs-level
+// locks nest within the package in wrapper order; the type-granular
+// lockorder analysis cannot distinguish instances, so the package is
+// declared internally ordered:
+//
+//iamlint:lockorder vfs.* internal
 package vfs
 
 import (

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Pre-PR gate: every check a change must pass before review.
 # Run from the repo root:  ./scripts/check.sh
+# CHECK_QUICK=1 skips the two slow suites (crash matrix, race run)
+# for fast iteration; the full gate is still required before review.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+quick=${CHECK_QUICK:-0}
+
 echo "== gofmt"
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed:"
+    echo "gofmt -s needed:"
     echo "$unformatted"
     exit 1
 fi
@@ -24,7 +28,10 @@ if go run ./cmd/iamlint \
     ./cmd/iamlint/testdata/ioerrbad \
     ./cmd/iamlint/testdata/determbad \
     ./cmd/iamlint/testdata/aliasbad \
-    ./cmd/iamlint/testdata/atomicpubbad >/dev/null 2>&1; then
+    ./cmd/iamlint/testdata/atomicpubbad \
+    ./cmd/iamlint/testdata/lockorderbad \
+    ./cmd/iamlint/testdata/syncorderbad \
+    ./cmd/iamlint/testdata/goexitbad >/dev/null 2>&1; then
     echo "iamlint found nothing in the bad fixtures — the analyzer is broken"
     exit 1
 fi
@@ -47,6 +54,12 @@ echo "== commit-pipeline bench smoke"
 # concurrency experiment below.
 go test -bench ConcurrentCommit -benchtime 1x -run '^$' -count=1 .
 go run ./cmd/iambench -experiment concurrency -scale small -json .
+
+if [ "$quick" = "1" ]; then
+    echo "CHECK_QUICK=1: skipping crash matrix and race suite."
+    echo "All quick checks passed."
+    exit 0
+fi
 
 echo "== crash matrix (bounded)"
 # Systematic crash-point exploration: crash at sampled sync/write

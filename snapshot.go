@@ -17,7 +17,10 @@ type Snapshot struct {
 // GetSnapshot captures the current state.  Callers must Release it.
 // The visible sequence comes from the lock-free read snapshot; only
 // the snapshot registry (which merges consult for their horizon) takes
-// a small dedicated lock, never db.mu.
+// a small dedicated lock, never db.mu.  Pushing the horizon down into
+// the engine does take the engine's own mutex under snapMu:
+//
+//iamlint:lockorder snapMu < core.Tree.mu; snapMu < lsm.DB.mu
 func (db *DB) GetSnapshot() *Snapshot {
 	s := &Snapshot{db: db, seq: kv.Seq(db.seqA.Load())}
 	db.snapMu.Lock()
