@@ -10,7 +10,8 @@
 //	iambench -list                   # list experiment ids
 //
 // Experiment ids: table1 table2 table3 table4 table5 figure6
-// figure7a figure7b figure7c figure8 figure9 figure10 concurrency
+// figure7a figure7b figure7c figure8 figure9 figure10 stability
+// concurrency
 //
 // All experiments except `concurrency` run on the deterministic
 // virtual-disk harness; `concurrency` measures the commit pipeline's
@@ -22,9 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
+	"iamdb"
 	"iamdb/internal/harness"
 )
 
@@ -60,6 +65,8 @@ func experiments() []experiment {
 			func(s harness.Scale) (harness.Table, error) { return s.Figure9() }},
 		{"figure10", "space usage after write tests",
 			func(s harness.Scale) (harness.Table, error) { return s.Figure10() }},
+		{"stability", "sustained-workload throughput variance and worst-window tails",
+			func(s harness.Scale) (harness.Table, error) { return s.Stability() }},
 		{"concurrency", "group-commit throughput vs writer count (wall clock)",
 			runConcurrency},
 	}
@@ -142,7 +149,7 @@ func main() {
 		fmt.Println(tbl.Format())
 		fmt.Printf("(%s finished in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 		if *jsonDir != "" {
-			if err := writeBench(*jsonDir, e.id, s.Name, tbl, records); err != nil {
+			if err := writeBench(*jsonDir, newRunMeta(e.id, s), tbl, records); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
 				os.Exit(1)
 			}
@@ -150,9 +157,51 @@ func main() {
 	}
 }
 
-// benchBlob is the BENCH_<id>.json schema: the rendered table plus the
-// full metrics snapshot of every environment the experiment ran.
+// benchSchema versions the BENCH_*.json layout; bump on breaking
+// changes so trajectory tooling can branch on it.
+const benchSchema = 2
+
+// runMeta stamps every emitted blob with where and how it was made, so
+// result trajectories stay attributable after the repo moves on.
+type runMeta struct {
+	Schema      int
+	Experiment  string
+	Scale       string
+	GitRevision string
+	GoVersion   string
+	GOMAXPROCS  int
+	Config      string
+}
+
+func newRunMeta(id string, s harness.Scale) runMeta {
+	return runMeta{
+		Schema:      benchSchema,
+		Experiment:  id,
+		Scale:       s.Name,
+		GitRevision: gitRevision(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Config: fmt.Sprintf("records100G=%d records1T=%d Ct=%d valueSize=%d workloadOps=%d",
+			s.Records100G, s.Records1T, s.Ct, s.ValueSize, s.WorkloadOps),
+	}
+}
+
+// gitRevision best-efforts the working tree's short commit hash;
+// "unknown" outside a git checkout or without git on PATH.
+func gitRevision() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// benchBlob is the BENCH_<id>.json schema: run metadata, the rendered
+// table, and the full metrics snapshot of every environment the
+// experiment ran.  Timelines are split into BENCH_<id>.timeline.json so
+// the main blob stays skimmable.
 type benchBlob struct {
+	Meta       runMeta
 	Experiment string
 	Scale      string
 	Title      string
@@ -161,9 +210,32 @@ type benchBlob struct {
 	Runs       []harness.MetricsRecord
 }
 
-func writeBench(dir, id, scale string, tbl harness.Table, runs []harness.MetricsRecord) error {
+// timelineBlob is the BENCH_<id>.timeline.json schema: one windowed
+// time-series per environment the experiment ran.
+type timelineBlob struct {
+	Meta runMeta
+	Runs []timelineRun
+}
+
+type timelineRun struct {
+	Engine   string
+	Disk     string
+	Timeline []iamdb.TimelinePoint
+}
+
+func writeBench(dir string, meta runMeta, tbl harness.Table, runs []harness.MetricsRecord) error {
+	var tl timelineBlob
+	for i := range runs {
+		if len(runs[i].Timeline) > 0 {
+			tl.Runs = append(tl.Runs, timelineRun{
+				Engine: runs[i].Engine, Disk: runs[i].Disk, Timeline: runs[i].Timeline,
+			})
+			runs[i].Timeline = nil
+		}
+	}
 	blob := benchBlob{
-		Experiment: id, Scale: scale,
+		Meta:       meta,
+		Experiment: meta.Experiment, Scale: meta.Scale,
 		Title: tbl.Title, Header: tbl.Header, Rows: tbl.Rows,
 		Runs: runs,
 	}
@@ -171,6 +243,18 @@ func writeBench(dir, id, scale string, tbl harness.Table, runs []harness.Metrics
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, "BENCH_"+id+".json")
+	path := filepath.Join(dir, "BENCH_"+meta.Experiment+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if len(tl.Runs) == 0 {
+		return nil
+	}
+	tl.Meta = meta
+	data, err = json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		return err
+	}
+	path = filepath.Join(dir, "BENCH_"+meta.Experiment+".timeline.json")
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

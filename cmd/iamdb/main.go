@@ -17,6 +17,11 @@
 //	stats                    print the per-level metrics report
 //	statsjson                print the metrics snapshot as JSON
 //	compact                  run the tuning phase to completion
+//	debug [load-n]           serve live introspection on -addr until
+//	                         interrupted: /metrics, /timeline, /traces,
+//	                         /levels, /debug/pprof; the optional
+//	                         argument keeps a background load running
+//	                         so there is something to watch
 package main
 
 import (
@@ -24,7 +29,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync"
 
 	"iamdb"
 	"iamdb/internal/ycsb"
@@ -35,6 +42,7 @@ func main() {
 		dir    = flag.String("db", "./iamdb-data", "database directory")
 		engine = flag.String("engine", "IAM", "IAM | LSA | LevelDB | RocksDB")
 		ctKB   = flag.Int64("ct", 4096, "memtable/node capacity in KiB")
+		addr   = flag.String("addr", "127.0.0.1:6060", "debug server address (debug command)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -51,10 +59,21 @@ func main() {
 		fatalf("unknown engine %q", *engine)
 	}
 
-	db, err := iamdb.Open(*dir, &iamdb.Options{
+	opt := &iamdb.Options{
 		Engine:       kind,
 		MemtableSize: *ctKB * 1024,
-	})
+	}
+	if args[0] == "debug" {
+		// The debug server wants the full observability stack: a span
+		// recorder and (implicitly, via DebugAddr) a timeline sampler,
+		// all on one shared wall clock so /traces timestamps line up
+		// with the latency histograms.
+		clk := iamdb.NewWallClock()
+		opt.Clock = clk
+		opt.DebugAddr = *addr
+		opt.Trace = iamdb.NewTraceRecorder(0, clk)
+	}
+	db, err := iamdb.Open(*dir, opt)
 	if err != nil {
 		fatalf("open: %v", err)
 	}
@@ -151,6 +170,43 @@ func main() {
 			fatalf("compact: %v", err)
 		}
 		fmt.Println("compacted")
+	case "debug":
+		fmt.Printf("debug server on http://%s/ (ctrl-c to stop)\n", db.DebugAddr())
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt)
+		var wg sync.WaitGroup
+		stopLoad := make(chan struct{})
+		if len(args) > 1 {
+			// Optional background load so the timeline and traces move.
+			n, err := strconv.Atoi(args[1])
+			if err != nil {
+				fatalf("debug: bad load count %q", args[1])
+			}
+			val := make([]byte, 1024)
+			for i := range val {
+				val[i] = byte('a' + i%26)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					select {
+					case <-stopLoad:
+						return
+					default:
+					}
+					if err := db.Put(ycsb.KeyName(uint64(i)), val); err != nil {
+						fmt.Fprintf(os.Stderr, "load: %v\n", err)
+						return
+					}
+				}
+				fmt.Printf("background load of %d records done\n", n)
+			}()
+		}
+		<-stop
+		close(stopLoad)
+		wg.Wait()
+		fmt.Println("stopping")
 	default:
 		fatalf("unknown command %q", args[0])
 	}

@@ -15,6 +15,7 @@ var determinismScope = []string{
 	"internal/core",
 	"internal/harness",
 	"internal/metrics",
+	"internal/trace",
 	"internal/vfs",
 }
 

@@ -49,13 +49,27 @@ func TestDetermClockFixtureIsClean(t *testing.T) {
 	}
 }
 
+// TestDetermTraceFixtureIsClean proves the determinism pass accepts
+// the clock-injected trace.Recorder pattern: spans, lineage and both
+// exporters read time only through the injected clock.
+func TestDetermTraceFixtureIsClean(t *testing.T) {
+	diags, err := runRendered([]string{"./testdata/determtrace"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("determtrace fixture produced diagnostics:\n%s", strings.Join(diags, "\n"))
+	}
+}
+
 // TestDeterminismScope pins the package set the determinism pass
-// covers; internal/metrics must stay in scope so the observability
-// layer can never regress to ambient time.
+// covers; internal/metrics and internal/trace must stay in scope so
+// the observability layer can never regress to ambient time.
 func TestDeterminismScope(t *testing.T) {
 	for _, path := range []string{
 		"iamdb/internal/core", "iamdb/internal/harness",
-		"iamdb/internal/metrics", "iamdb/internal/vfs",
+		"iamdb/internal/metrics", "iamdb/internal/trace",
+		"iamdb/internal/vfs",
 	} {
 		if !deterministicScoped(&pkg{path: path}) {
 			t.Errorf("%s not in determinism scope", path)

@@ -16,8 +16,12 @@
 package iamdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -33,6 +37,7 @@ import (
 	"iamdb/internal/lsm"
 	"iamdb/internal/memtable"
 	"iamdb/internal/metrics"
+	"iamdb/internal/trace"
 	"iamdb/internal/vfs"
 	"iamdb/internal/wal"
 )
@@ -109,7 +114,11 @@ type DB struct {
 	// reverse.  The declared hierarchy below is checked statically by
 	// iamlint's lockorder pass against the inferred acquisition graph.
 	//
-	//iamlint:lockorder commitMu < qmu; commitMu < iamdb.DB.mu; iamdb.DB.mu < vfs.*; qmu leaf
+	// With Options.InlineBackground the leader also runs the flush and
+	// compaction pipeline while holding commitMu, so the engine locks
+	// (and through them the trace recorder and vfs locks) nest under it.
+	//
+	//iamlint:lockorder commitMu < qmu; commitMu < iamdb.DB.mu; iamdb.DB.mu < vfs.*; commitMu < trace.Recorder.mu; iamdb.DB.mu < trace.Recorder.mu; commitMu < core.Tree.mu; commitMu < lsm.DB.mu; qmu leaf
 	qmu      sync.Mutex
 	pendingQ []*commitOp
 	commitMu sync.Mutex
@@ -129,6 +138,20 @@ type DB struct {
 	closedA atomic.Bool
 
 	userBytes atomic.Int64 // total key+value bytes written
+	putOps    atomic.Int64 // records committed (sequence numbers consumed)
+	getOps    atomic.Int64 // point lookups served
+
+	// Introspection (see debug.go): tr records structural spans (nil =
+	// disabled, zero-cost), samplerA holds the active timeline sampler,
+	// and the debug server exposes both over HTTP when
+	// Options.DebugAddr is set.  labelCommit, when non-nil, is the
+	// pprof label set the commit leader wears; it stays nil unless the
+	// debug server is on so the default commit path pays nothing.
+	tr          *trace.Recorder
+	samplerA    atomic.Pointer[metrics.Sampler]
+	debugLn     net.Listener
+	debugSrv    *http.Server
+	labelCommit context.Context
 
 	commitGroups  *metrics.Counter
 	commitBatches *metrics.Counter
@@ -215,6 +238,7 @@ func Open(dir string, opt *Options) (*DB, error) {
 		timing: o.EventListener != nil || o.Clock != nil,
 		reg:    metrics.NewRegistry(),
 		io:     io,
+		tr:     o.Trace,
 		mem:    memtable.New(),
 		snaps:  make(map[kv.Seq]int),
 		flushC: make(chan struct{}, 1), compactC: make(chan struct{}, 1),
@@ -251,11 +275,19 @@ func Open(dir string, opt *Options) (*DB, error) {
 	db.mu.Lock()
 	db.publishStateLocked()
 	db.mu.Unlock()
-	db.wg.Add(1)
-	go db.flushWorker()
-	for i := 0; i < db.opt.CompactionThreads; i++ {
+	if !o.InlineBackground {
 		db.wg.Add(1)
-		go db.compactWorker()
+		go db.flushWorker()
+		for i := 0; i < db.opt.CompactionThreads; i++ {
+			db.wg.Add(1)
+			go db.compactWorker()
+		}
+	}
+	if o.DebugAddr != "" {
+		if err := db.startDebugServer(o.DebugAddr); err != nil {
+			_ = db.Close()
+			return nil, err
+		}
 	}
 	return db, nil
 }
@@ -277,7 +309,7 @@ func (db *DB) openEngine() error {
 			Policy: policy, K: db.opt.K, MemBudget: budget,
 			FixedM: db.opt.FixedM, BitsPerKey: db.opt.BitsPerKey,
 			Compression: db.opt.Compression,
-			Events:      db.events, Clock: db.clock,
+			Events:      db.events, Clock: db.clock, Trace: db.tr,
 		})
 		if err != nil {
 			return err
@@ -294,7 +326,7 @@ func (db *DB) openEngine() error {
 			Fanout: db.opt.Fanout, L0CompactTrigger: db.opt.L0CompactTrigger,
 			Profile: profile, BitsPerKey: db.opt.BitsPerKey,
 			Compression: db.opt.Compression,
-			Events:      db.events, Clock: db.clock,
+			Events:      db.events, Clock: db.clock, Trace: db.tr,
 		})
 		if err != nil {
 			return err
@@ -435,6 +467,7 @@ func (db *DB) Write(b *Batch) error {
 func (db *DB) write(b *Batch) error {
 	db.throttle()
 
+	esp := db.tr.Begin("commit.enqueue")
 	op := &commitOp{b: b}
 	db.qmu.Lock()
 	db.pendingQ = append(db.pendingQ, op)
@@ -445,6 +478,7 @@ func (db *DB) write(b *Batch) error {
 		qstart = db.clock.Now()
 	}
 	db.commitMu.Lock()
+	esp.End()
 	if db.timing {
 		db.commitWait.Add(int64(db.clock.Now() - qstart))
 	}
@@ -494,6 +528,13 @@ func (db *DB) commitGroup(group []*commitOp) {
 	mem, walW := db.mem, db.walW
 	db.mu.Unlock()
 
+	if ctx := db.labelCommit; ctx != nil {
+		pprof.SetGoroutineLabels(ctx)
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
+	sp := db.tr.Begin("commit.group")
+	sp.SetCount(int64(len(group)))
+
 	// One record of concatenated batch encodings; recovery decodes
 	// them back-to-back (decodeRecordInto).
 	buf := db.walBuf[:0]
@@ -503,15 +544,21 @@ func (db *DB) commitGroup(group []*commitOp) {
 		seq += kv.Seq(op.b.Len())
 	}
 	db.walBuf = buf
+	wsp := sp.Child("commit.wal")
+	wsp.SetBytes(int64(len(buf)))
 	if err := walW.Append(buf); err != nil {
 		// The record may be partially durable; burn the sequence range
 		// so a replay after crash can never collide with a reuse.
 		db.seq = seq
+		sp.End()
 		finishGroup(group, err)
 		return
 	}
+	wsp.End()
 
+	asp := sp.Child("commit.apply")
 	s := db.seq
+	seq0 := s
 	var user int64
 	for _, op := range group {
 		for _, bop := range op.b.ops {
@@ -522,13 +569,18 @@ func (db *DB) commitGroup(group []*commitOp) {
 	}
 	db.seq = s
 	db.userBytes.Add(user)
+	db.putOps.Add(int64(s - seq0))
 	// Publish: every record at or below s is inserted, so readers may
 	// now see the whole group.
 	db.seqA.Store(uint64(s))
+	asp.SetCount(int64(s - seq0))
+	asp.End()
 
 	db.commitGroups.Inc()
 	db.commitBatches.Add(int64(len(group)))
 	db.groupSize.Record(time.Duration(len(group)))
+	sp.SetBytes(user)
+	sp.End()
 
 	var err error
 	if mem.ApproximateSize() >= db.opt.MemtableSize {
@@ -537,8 +589,33 @@ func (db *DB) commitGroup(group []*commitOp) {
 			err = db.rotateLocked()
 		}
 		db.mu.Unlock()
+		if err == nil && db.opt.InlineBackground {
+			db.inlineBG()
+		}
 	}
 	finishGroup(group, err)
+}
+
+// inlineBG runs the background pipeline synchronously on the commit
+// leader (Options.InlineBackground): drain the immutable memtable just
+// rotated out, then run compaction steps until the engine is settled.
+// Caller holds commitMu, so the engine locks nest under it — the
+// declared lock order covers this nesting.
+func (db *DB) inlineBG() {
+	db.drainImm()
+	for {
+		did, err := db.eng.WorkStep()
+		if err != nil {
+			if !db.noteBgError("compact", err) {
+				return
+			}
+			continue
+		}
+		if !did {
+			return
+		}
+		db.noteBgSuccess()
+	}
 }
 
 // throttle applies the engine's write-stall policy in the writer's own
@@ -553,11 +630,14 @@ func (db *DB) throttle() {
 		return
 	}
 	start := db.clock.Now()
+	sp := db.tr.Begin("write.stall")
+	sp.SetLevel(lvl)
 	db.events.WriteStallBegin(metrics.StallInfo{Level: lvl})
 	db.stallWork(lvl)
 	d := db.clock.Now() - start
 	db.stallCount.Inc()
 	db.stallNanos.Add(int64(d))
+	sp.End()
 	db.events.WriteStallEnd(metrics.StallInfo{Level: lvl, Duration: d})
 }
 
@@ -600,6 +680,9 @@ func (db *DB) rotateLocked() error {
 	oldNum, oldBytes := db.walNum, db.walW.Offset()
 	db.walRetired += oldBytes
 	db.walRotations.Inc()
+	sp := db.tr.Begin("wal.rotate")
+	sp.SetBytes(oldBytes)
+	sp.End()
 	db.events.WALRotated(metrics.WALRotationInfo{OldNum: oldNum, NewNum: newNum, OldBytes: oldBytes})
 	db.imm = db.mem
 	db.immWalNum = db.walNum
@@ -688,6 +771,8 @@ func (db *DB) noteBgSuccess() {
 
 func (db *DB) flushWorker() {
 	defer db.wg.Done()
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("iamdb", "flush-worker")))
 	for {
 		select {
 		case <-db.quit:
@@ -746,6 +831,8 @@ func (db *DB) drainImm() {
 
 func (db *DB) compactWorker() {
 	defer db.wg.Done()
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("iamdb", "compact-worker")))
 	for {
 		did, err := db.eng.WorkStep()
 		if err != nil {
@@ -865,6 +952,7 @@ func (db *DB) getRaw(key []byte) ([]byte, kv.Kind, error) {
 	if db.closedA.Load() {
 		return nil, 0, ErrClosed
 	}
+	db.getOps.Add(1)
 	snap := kv.Seq(db.seqA.Load())
 	st := db.state.Load()
 	return db.getRawAt(key, snap, st.mem, st.imm)
@@ -909,6 +997,10 @@ func (db *DB) Close() error {
 	db.cond.Broadcast()
 	db.mu.Unlock()
 	close(db.quit)
+	if db.debugSrv != nil {
+		// Unblocks the Serve goroutine so wg.Wait below can finish.
+		_ = db.debugSrv.Close()
+	}
 	db.wg.Wait()
 	// Barrier: wait out any in-flight commit leader so the WAL writer
 	// is idle before closing it.  Leaders that acquire commitMu later

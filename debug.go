@@ -1,0 +1,182 @@
+package iamdb
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"runtime/pprof"
+	"time"
+)
+
+// startDebugServer brings up the live introspection server on addr
+// (Options.DebugAddr).  It attaches a timeline sampler when none is
+// attached yet, arms the commit-leader pprof labels, and serves
+// DebugHandler until Close.  Called from Open before any writer
+// exists, so the plain field writes are unobserved until the server
+// (and the DB) is visible.
+func (db *DB) startDebugServer(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	db.labelCommit = pprof.WithLabels(context.Background(),
+		pprof.Labels("iamdb", "commit-leader"))
+	win := db.opt.DebugSampleWindow
+	if win <= 0 {
+		win = time.Second
+	}
+	if db.samplerA.Load() == nil {
+		db.NewSampler(win, 0)
+	}
+	db.debugLn = ln
+	db.debugSrv = &http.Server{Handler: db.DebugHandler()}
+	db.wg.Add(1)
+	go db.serveDebug()
+	db.wg.Add(1)
+	go db.samplerWorker(win)
+	return nil
+}
+
+// serveDebug runs the debug HTTP server; Close shuts the server down,
+// which unblocks Serve so wg.Wait can finish.
+func (db *DB) serveDebug() {
+	defer db.wg.Done()
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("iamdb", "debug-server")))
+	_ = db.debugSrv.Serve(db.debugLn)
+}
+
+// samplerWorker advances the attached sampler on a wall-clock ticker so
+// the /timeline view moves even when no workload loop is polling.  It
+// lives in the public package, outside the iamlint determinism scope:
+// deterministic runs never start a debug server.
+func (db *DB) samplerWorker(win time.Duration) {
+	defer db.wg.Done()
+	t := time.NewTicker(win)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.quit:
+			return
+		case <-t.C:
+			if s := db.samplerA.Load(); s != nil {
+				s.Poll()
+			}
+		}
+	}
+}
+
+// DebugAddr reports the address the debug server is listening on, or
+// "" when it is off.  With Options.DebugAddr "127.0.0.1:0" this is how
+// callers learn the kernel-assigned port.
+func (db *DB) DebugAddr() string {
+	if db.debugLn == nil {
+		return ""
+	}
+	return db.debugLn.Addr().String()
+}
+
+// DebugHandler returns the introspection handler the debug server
+// serves; it can also be mounted directly (tests use httptest):
+//
+//	/metrics   — Metrics report (text; ?format=json for the struct)
+//	/timeline  — windowed time-series points (JSON array)
+//	/traces    — recorded spans (JSON Lines; ?format=chrome for a
+//	             chrome://tracing / Perfetto trace-event file)
+//	/levels    — per-level tree view (text)
+//	/debug/pprof/* — standard pprof handlers, with iamdb goroutine
+//	             labels on flush, compaction and commit-leader work
+func (db *DB) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", db.handleDebugIndex)
+	mux.HandleFunc("/metrics", db.handleDebugMetrics)
+	mux.HandleFunc("/timeline", db.handleDebugTimeline)
+	mux.HandleFunc("/traces", db.handleDebugTraces)
+	mux.HandleFunc("/levels", db.handleDebugLevels)
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	return mux
+}
+
+func (db *DB) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "iamdb debug server (engine %v)\n\n", db.opt.Engine)
+	fmt.Fprintln(w, "/metrics        metrics report (?format=json)")
+	fmt.Fprintln(w, "/timeline       windowed time-series (JSON)")
+	fmt.Fprintln(w, "/traces         spans as JSON Lines (?format=chrome)")
+	fmt.Fprintln(w, "/levels         per-level tree view")
+	fmt.Fprintln(w, "/debug/pprof/   pprof index")
+}
+
+func (db *DB) handleDebugMetrics(w http.ResponseWriter, r *http.Request) {
+	m := db.Metrics()
+	if r.URL.Query().Get("format") == "json" {
+		writeDebugJSON(w, m)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, m.String())
+}
+
+func (db *DB) handleDebugTimeline(w http.ResponseWriter, r *http.Request) {
+	pts := db.Timeline()
+	if pts == nil {
+		pts = []TimelinePoint{}
+	}
+	writeDebugJSON(w, pts)
+}
+
+func (db *DB) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if db.tr == nil {
+		http.Error(w, "tracing disabled: pass Options.Trace", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = db.tr.WriteChromeTrace(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	_ = db.tr.WriteJSONLines(w)
+}
+
+func (db *DB) handleDebugLevels(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	m := db.Metrics()
+	fmt.Fprintf(w, "engine %v", db.opt.Engine)
+	if mm, k := db.MixedLevel(); mm > 0 {
+		fmt.Fprintf(w, "  (mixed level m=%d, k=%d)", mm, k)
+	}
+	fmt.Fprintf(w, "\nmemtable %.1f MB (+%d immutable)\n",
+		mb(m.MemtableBytes), m.ImmutableMemtables)
+	for _, li := range m.Levels {
+		bar := li.Nodes
+		if bar > 64 {
+			bar = 64
+		}
+		fmt.Fprintf(w, "L%-2d %5d nodes %5d seqs %9.1f MB ", li.Level, li.Nodes, li.Seqs, mb(li.Bytes))
+		for i := 0; i < bar; i++ {
+			fmt.Fprint(w, "#")
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "space used %.1f MB, write amplification %.2f\n",
+		mb(m.SpaceUsed), m.WriteAmplification())
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

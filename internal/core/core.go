@@ -28,6 +28,7 @@ import (
 	"iamdb/internal/manifest"
 	"iamdb/internal/metrics"
 	"iamdb/internal/table"
+	"iamdb/internal/trace"
 	"iamdb/internal/vfs"
 )
 
@@ -90,6 +91,10 @@ type Config struct {
 	// Clock supplies monotonic time for event durations.  Nil means
 	// the zero clock: events fire but durations read 0.
 	Clock metrics.Clock
+	// Trace records structural spans (flush cascade, per-job
+	// append/merge/split/combine with file lineage).  Nil disables
+	// tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 func (c *Config) fill() {
@@ -157,9 +162,10 @@ func (t *Tree) unref(nd *node) {
 // Tree is an LSA- or IAM-tree.  All exported methods are safe for
 // concurrent use; structural changes serialize on one mutex while reads
 // go through immutable node tables.  Filesystem-layer locks nest below
-// the tree mutex (manifest rotation renames under mu):
+// the tree mutex (manifest rotation renames under mu), and the trace
+// recorder's ring lock is a leaf taken while mu is held:
 //
-//iamlint:lockorder core.Tree.mu < vfs.*
+//iamlint:lockorder core.Tree.mu < vfs.*; core.Tree.mu < trace.Recorder.mu
 type Tree struct {
 	mu  sync.Mutex
 	cfg Config
@@ -174,6 +180,9 @@ type Tree struct {
 	logNum   uint64
 	// curM/curK cache the IAM policy tuning for the current flush.
 	curM, curK int
+	// curSpan is the trace span the cascade currently runs under, so
+	// recursive flush/split/combine jobs nest (guarded by mu).
+	curSpan uint64
 
 	stats engine.Stats
 }

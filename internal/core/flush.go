@@ -59,9 +59,15 @@ func (t *Tree) Flush(it iterator.Iterator) error {
 	t.stats.CountFlush()
 	start := t.cfg.Clock.Now()
 	var flushed int64
+	sp := t.cfg.Trace.Begin("core.flush")
+	prevSpan := t.curSpan
+	t.curSpan = sp.ID()
 	// Fired via defer so the event pairs 1:1 with the CountFlush above
 	// even on error paths.
 	defer func() {
+		t.curSpan = prevSpan
+		sp.SetBytes(flushed)
+		sp.End()
 		t.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: flushed, Duration: t.cfg.Clock.Now() - start})
 	}()
 	atBottom := t.treeEmptyLocked()
@@ -144,7 +150,15 @@ func (t *Tree) flushNode(i int, x *node, destroy bool) error {
 	t.stats.CountFlush()
 	start := t.cfg.Clock.Now()
 	var flushed int64
+	sp := t.cfg.Trace.BeginAt("core.flushnode", t.curSpan)
+	sp.SetLevel(i)
+	sp.AddIn(x.num)
+	prevSpan := t.curSpan
+	t.curSpan = sp.ID()
 	defer func() {
+		t.curSpan = prevSpan
+		sp.SetBytes(flushed)
+		sp.End()
 		t.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: flushed, Duration: t.cfg.Clock.Now() - start})
 	}()
 	// Precondition 1: fewer than 2t children, else split instead.
@@ -166,9 +180,14 @@ func (t *Tree) flushNode(i int, x *node, destroy bool) error {
 		if i+1 > t.n() {
 			return fmt.Errorf("core: move below leaf level from L%d", i)
 		}
+		mv := t.cfg.Trace.BeginAt("core.move", sp.ID())
+		mv.SetLevel(i + 1)
+		mv.AddIn(x.num)
+		mv.AddOut(x.num) // the file survives the move, re-homed a level down
 		t.removeFromLevel(i, x)
 		t.addToLevel(i+1, x)
 		t.stats.CountMove(i + 1)
+		mv.End()
 		t.cfg.Events.MoveEnd(metrics.MoveInfo{FromLevel: i, ToLevel: i + 1})
 		return t.logEdit(&manifest.Edit{
 			Deleted: []manifest.NodeRef{{Level: i, FileNum: x.num}},
@@ -410,6 +429,7 @@ func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
 	if t.shouldMerge(dst, kid) {
 		return t.mergeChild(dst, kid, sub)
 	}
+	sp := t.cfg.Trace.BeginAt("core.append", t.curSpan)
 	it := sub.iter()
 	it.First()
 	res, err := kid.tbl.AppendFrom(it, 1<<62)
@@ -421,6 +441,12 @@ func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
 	}
 	t.stats.CountAppend(dst)
 	t.stats.AddFlushBytes(dst, res.Bytes)
+	sp.SetLevel(dst)
+	sp.SetBytes(res.Bytes)
+	sp.SetCount(int64(sub.len()))
+	sp.AddIn(kid.num)
+	sp.AddOut(kid.num)
+	defer sp.End()
 	t.cfg.Events.AppendEnd(metrics.AppendInfo{Level: dst, Bytes: res.Bytes})
 	newRng := kid.rng.Union(sub.span())
 	if newRng.String() != kid.rng.String() {
@@ -448,6 +474,9 @@ func (t *Tree) deliverToChild(dst int, kid *node, sub *batch) error {
 // internal merging levels the merge yields a single node.
 func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
 	start := t.cfg.Clock.Now()
+	sp := t.cfg.Trace.BeginAt("core.merge", t.curSpan)
+	sp.SetLevel(dst)
+	sp.AddIn(kid.num)
 	atBottom := dst == t.n()
 	chunk := t.cfg.NodeCapacity // internal merge: one (near-)full node
 	if atBottom && kid.dataSize()+int64(batchBytes(sub)) > t.cfg.NodeCapacity {
@@ -470,12 +499,15 @@ func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
 	t.removeFromLevel(dst, kid)
 	for _, nd := range newNodes {
 		t.addToLevel(dst, nd)
+		sp.AddOut(nd.num)
 		edit.Added = append(edit.Added, t.record(dst, nd))
 	}
 	// The old file may only disappear once the edit dropping it is
 	// durable; see deleteNode.
 	err = t.logEdit(edit)
 	t.deleteNode(kid, err == nil)
+	sp.SetBytes(bytes)
+	sp.End()
 	return err
 }
 
@@ -573,6 +605,9 @@ func (t *Tree) splitNode(i int, x *node) error {
 	if len(kidIdxs) < 2 {
 		return fmt.Errorf("core: split of L%d node %d with %d children", i, x.num, len(kidIdxs))
 	}
+	sp := t.cfg.Trace.BeginAt("core.split", t.curSpan)
+	sp.SetLevel(i)
+	sp.AddIn(x.num)
 	next := t.levels[i+1]
 	half := len(kidIdxs) / 2
 	mid := next[kidIdxs[half]].rng.Lo
@@ -644,10 +679,14 @@ func (t *Tree) splitNode(i int, x *node) error {
 	t.removeFromLevel(i, x)
 	for _, nd := range newNodes {
 		t.addToLevel(i, nd)
+		sp.AddOut(nd.num)
 		edit.Added = append(edit.Added, t.record(i, nd))
 	}
 	err = t.logEdit(edit)
 	t.deleteNode(x, err == nil)
+	sp.SetBytes(total)
+	sp.SetCount(int64(len(newNodes)))
+	sp.End()
 	return err
 }
 
@@ -715,8 +754,16 @@ func (t *Tree) combineOne(i int) error {
 		}
 	}
 	t.stats.CountCombine(i)
+	sp := t.cfg.Trace.BeginAt("core.combine", t.curSpan)
+	sp.SetLevel(i)
+	sp.AddIn(lvl[best].num)
+	prevSpan := t.curSpan
+	t.curSpan = sp.ID()
 	t.cfg.Events.CombineEnd(metrics.CombineInfo{Level: i})
-	return t.flushNode(i, lvl[best], true)
+	err := t.flushNode(i, lvl[best], true)
+	t.curSpan = prevSpan
+	sp.End()
+	return err
 }
 
 func (t *Tree) removeFromLevel(i int, x *node) {

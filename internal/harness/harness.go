@@ -45,6 +45,23 @@ type Config struct {
 	// FixedM/K pin IAM's mixed level (Table 3); zero = auto.
 	FixedM int
 	K      int
+	// Inline runs flushes and compactions synchronously on the writer
+	// (iamdb.Options.InlineBackground): with the virtual clock this
+	// makes whole runs deterministic, at the cost of commit latency
+	// absorbing background work.  The stability experiment uses it.
+	Inline bool
+	// TimelineWindow is the initial width of the timeline sampler's
+	// windows in virtual disk time (default 100ms; it doubles as the
+	// run outgrows the ring).  TimelineCapacity bounds the ring
+	// (default 128 — a run always yields 64–128 windows once full).
+	// The default is deliberately coarse: a boundary crossing costs a
+	// full metrics snapshot, so a fine window taxes every op of every
+	// experiment (the stability experiment re-arms a 50µs window for
+	// just its measured phase via ResetTimeline).
+	TimelineWindow   time.Duration
+	TimelineCapacity int
+	// Trace, when non-nil, records structural spans for the run.
+	Trace *iamdb.TraceRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +86,9 @@ func (c Config) withDefaults() Config {
 	if c.K == 0 {
 		c.K = 3
 	}
+	if c.TimelineWindow == 0 {
+		c.TimelineWindow = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -81,6 +101,12 @@ type Env struct {
 	stats *vfs.IOStats
 	rng   *rand.Rand
 	value []byte
+	// sampler is the timeline sampler the op loops poll; ResetTimeline
+	// replaces it to scope the timeline to a measured phase.
+	sampler *iamdb.Sampler
+	// Stability, when set by an experiment before Close, rides along in
+	// the metrics record the sink receives.
+	Stability *StabilityScore
 	// reported guards the metrics sink against double Close.
 	reported bool
 }
@@ -118,7 +144,9 @@ func NewEnv(cfg Config) (*Env, error) {
 		// The disk's virtual clock is the experiment's time base, so
 		// event durations and latency histograms report simulated
 		// device time, not host time.
-		Clock: clock,
+		Clock:            clock,
+		Trace:            cfg.Trace,
+		InlineBackground: cfg.Inline,
 	})
 	if err != nil {
 		return nil, err
@@ -126,10 +154,33 @@ func NewEnv(cfg Config) (*Env, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Env{
 		Cfg: cfg, DB: db, mem: mem, clock: clock, stats: stats,
-		rng:   rng,
-		value: ycsb.Value(rng, cfg.ValueSize),
+		rng:     rng,
+		value:   ycsb.Value(rng, cfg.ValueSize),
+		sampler: db.NewSampler(cfg.TimelineWindow, cfg.TimelineCapacity),
 	}, nil
 }
+
+// ResetTimeline discards the timeline so far and starts a fresh one at
+// the clock's current reading — used to scope the timeline to a
+// measured phase (e.g. after a load).  window/capacity ≤ 0 keep the
+// config's values.
+func (e *Env) ResetTimeline(window time.Duration, capacity int) {
+	if window <= 0 {
+		window = e.Cfg.TimelineWindow
+	}
+	if capacity <= 0 {
+		capacity = e.Cfg.TimelineCapacity
+	}
+	e.sampler = e.DB.NewSampler(window, capacity)
+}
+
+// Timeline polls and returns the closed windows of the current
+// timeline, oldest first.
+func (e *Env) Timeline() []iamdb.TimelinePoint { return e.DB.Timeline() }
+
+// poll advances the timeline; op loops call it once per operation (one
+// atomic load when no window boundary has been crossed).
+func (e *Env) poll() { e.sampler.Poll() }
 
 // MetricsRecord is one environment's final metrics snapshot, tagged
 // with the engine and disk profile that produced it.
@@ -137,6 +188,11 @@ type MetricsRecord struct {
 	Engine  string
 	Disk    string
 	Metrics iamdb.Metrics
+	// Timeline is the run's windowed time-series (empty when the
+	// environment closed before any window did).
+	Timeline []iamdb.TimelinePoint `json:",omitempty"`
+	// Stability carries the stability experiment's score for this run.
+	Stability *StabilityScore `json:",omitempty"`
 }
 
 // metricsSink, when installed, observes every environment's final
@@ -164,9 +220,11 @@ func (e *Env) Close() error {
 	if metricsSink != nil && !e.reported {
 		e.reported = true
 		metricsSink(MetricsRecord{
-			Engine:  e.Cfg.Engine.String(),
-			Disk:    e.Cfg.Disk.Name,
-			Metrics: e.DB.Metrics(),
+			Engine:    e.Cfg.Engine.String(),
+			Disk:      e.Cfg.Disk.Name,
+			Metrics:   e.DB.Metrics(),
+			Timeline:  e.Timeline(),
+			Stability: e.Stability,
 		})
 	}
 	return e.DB.Close()
@@ -227,6 +285,7 @@ func (e *Env) load(key func(i uint64) []byte) (LoadResult, error) {
 			return LoadResult{}, err
 		}
 		hist.Record(e.clock.Elapsed() - t0 + e.Cfg.CPUPerOp)
+		e.poll()
 	}
 	elapsed := e.clock.Elapsed() - start +
 		time.Duration(e.Cfg.Records)*e.Cfg.CPUPerOp
@@ -325,6 +384,7 @@ func (e *Env) RunWorkload(w ycsb.Workload, ops int) (RunResult, error) {
 			it.Close()
 		}
 		hist.Record(e.clock.Elapsed() - t0 + e.Cfg.CPUPerOp)
+		e.poll()
 	}
 	elapsed := e.clock.Elapsed() - start + time.Duration(ops)*e.Cfg.CPUPerOp
 	return RunResult{
@@ -347,6 +407,7 @@ func (e *Env) ReadSeq() (RunResult, error) {
 	n := 0
 	for it.First(); it.Valid(); it.Next() {
 		n++
+		e.poll()
 	}
 	if err := it.Err(); err != nil {
 		return RunResult{}, err

@@ -80,6 +80,7 @@ type Summary struct {
 	Mean  time.Duration
 	P50   time.Duration
 	P99   time.Duration
+	P999  time.Duration
 	Max   time.Duration
 }
 
@@ -90,6 +91,7 @@ func (h *H) Summary() Summary {
 		Mean:  h.Mean(),
 		P50:   h.Percentile(0.50),
 		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
 		Max:   h.Max(),
 	}
 }

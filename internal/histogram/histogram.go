@@ -76,6 +76,54 @@ func (h *H) Merge(o *H) {
 	}
 }
 
+// Sub returns the bucket-wise interval histogram h − prev: the
+// observations recorded after prev was captured.  Both histograms must
+// be cumulative snapshots of the same series (prev taken earlier), so
+// every bucket of prev is ≤ the matching bucket of h.
+//
+// Exact sums and counts survive subtraction; extrema do not.  The
+// interval max is approximated by the upper edge of the highest
+// non-empty diff bucket (capped at the cumulative max), and min by the
+// lower edge of the lowest non-empty diff bucket — both within one
+// bucket width (~5%) of the true value, which is what windowed
+// percentile reporting needs.
+func (h *H) Sub(prev *H) *H {
+	d := New()
+	hi, lo := -1, -1
+	for i := range h.buckets {
+		n := h.buckets[i] - prev.buckets[i]
+		if n < 0 {
+			n = 0
+		}
+		d.buckets[i] = n
+		if n > 0 {
+			hi = i
+			if lo < 0 {
+				lo = i
+			}
+		}
+	}
+	d.count = h.count - prev.count
+	d.sum = h.sum - prev.sum
+	if d.count < 0 {
+		d.count = 0
+	}
+	if d.sum < 0 {
+		d.sum = 0
+	}
+	if hi >= 0 {
+		d.max = int64(minLatency * math.Pow(growth, float64(hi+1)))
+		if d.max > h.max {
+			d.max = h.max
+		}
+		d.min = int64(minLatency * math.Pow(growth, float64(lo)))
+		if lo == 0 {
+			d.min = 0
+		}
+	}
+	return d
+}
+
 // Count reports the number of observations.
 func (h *H) Count() int64 { return h.count }
 

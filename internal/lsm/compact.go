@@ -16,6 +16,8 @@ func (d *DB) Flush(it iterator.Iterator) error {
 	defer d.mu.Unlock()
 	d.stats.CountFlush()
 	start := d.cfg.Clock.Now()
+	sp := d.cfg.Trace.Begin("lsm.flush")
+	sp.SetLevel(0)
 	filtered := engine.DropObsolete(it, d.horizon, false)
 	filtered.First()
 	files, bytes, err := d.writeFiles(filtered, 1<<62)
@@ -27,10 +29,14 @@ func (d *DB) Flush(it iterator.Iterator) error {
 	edit := &manifest.Edit{NextFile: d.nextFile, SetNextFile: true}
 	for _, f := range files {
 		d.levels[0] = append(d.levels[0], f)
+		sp.AddOut(f.num)
 		edit.Added = append(edit.Added, d.record(0, f))
 	}
 	d.sortLevel0()
-	return d.logEdit(edit)
+	err = d.logEdit(edit)
+	sp.SetBytes(bytes)
+	sp.End()
+	return err
 }
 
 // writeFiles drains a positioned iterator into new tables of at most
@@ -198,15 +204,21 @@ func (d *DB) compactLevel(i int) error {
 	// metadata change only.
 	if len(inputs) == 1 && len(overlaps) == 0 {
 		f := inputs[0]
+		mv := d.cfg.Trace.Begin("lsm.move")
+		mv.SetLevel(i + 1)
+		mv.AddIn(f.num)
+		mv.AddOut(f.num) // the file survives the move, re-homed a level down
 		d.removeFrom(i, f)
 		d.levels[i+1] = append(d.levels[i+1], f)
 		d.sortLevel(i + 1)
 		d.stats.CountMove(i + 1)
 		d.cfg.Events.MoveEnd(metrics.MoveInfo{FromLevel: i, ToLevel: i + 1})
-		return d.logEdit(&manifest.Edit{
+		err := d.logEdit(&manifest.Edit{
 			Deleted: []manifest.NodeRef{{Level: i, FileNum: f.num}},
 			Added:   []manifest.NodeRecord{d.record(i+1, f)},
 		})
+		mv.End()
+		return err
 	}
 
 	// Merge: newest sources first so the merge iterator's tie order is
@@ -225,11 +237,15 @@ func (d *DB) compactLevel(i int) error {
 		kids = append(kids, f.tbl.NewIter())
 	}
 	start := d.cfg.Clock.Now()
+	sp := d.cfg.Trace.Begin("lsm.compact")
+	sp.SetLevel(i + 1)
 	for _, f := range inputs {
 		d.stats.AddReadBytes(i, f.tbl.DataSize())
+		sp.AddIn(f.num)
 	}
 	for _, f := range overlaps {
 		d.stats.AddReadBytes(i+1, f.tbl.DataSize())
+		sp.AddIn(f.num)
 	}
 	merged := iterator.NewMerging(kv.CompareInternal, kids...)
 	atBottom := d.isBottom(i + 1)
@@ -254,6 +270,7 @@ func (d *DB) compactLevel(i int) error {
 	}
 	for _, f := range files {
 		d.levels[i+1] = append(d.levels[i+1], f)
+		sp.AddOut(f.num)
 		edit.Added = append(edit.Added, d.record(i+1, f))
 	}
 	d.sortLevel(i + 1)
@@ -267,6 +284,9 @@ func (d *DB) compactLevel(i int) error {
 	for _, f := range overlaps {
 		d.deleteFile(f, err == nil)
 	}
+	sp.SetBytes(bytes)
+	sp.SetCount(int64(len(files)))
+	sp.End()
 	return err
 }
 

@@ -33,6 +33,7 @@ import (
 	"iamdb/internal/manifest"
 	"iamdb/internal/metrics"
 	"iamdb/internal/table"
+	"iamdb/internal/trace"
 	"iamdb/internal/vfs"
 )
 
@@ -83,6 +84,9 @@ type Config struct {
 	// Clock supplies monotonic time for event durations.  Nil means
 	// the zero clock: events fire but durations read 0.
 	Clock metrics.Clock
+	// Trace records structural spans (flush, compaction jobs with file
+	// lineage).  Nil disables tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 func (c *Config) fill() {
@@ -115,9 +119,10 @@ type file struct {
 }
 
 // DB is the baseline leveled LSM engine.  Filesystem-layer locks nest
-// below the engine mutex (compaction writes files under mu):
+// below the engine mutex (compaction writes files under mu), and the
+// trace recorder's ring lock is a leaf taken while mu is held:
 //
-//iamlint:lockorder lsm.DB.mu < vfs.*
+//iamlint:lockorder lsm.DB.mu < vfs.*; lsm.DB.mu < trace.Recorder.mu
 type DB struct {
 	mu  sync.Mutex
 	cfg Config

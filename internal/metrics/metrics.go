@@ -143,11 +143,15 @@ func (r *Registry) Histogram(name string) *histogram.Concurrent {
 }
 
 // Snapshot is a point-in-time copy of every registered instrument,
-// JSON-friendly by construction.
+// JSON-friendly by construction.  Snapshots taken from a Registry also
+// carry full histogram data (unexported, not serialized) so Delta can
+// compute true interval percentiles, not summary arithmetic.
 type Snapshot struct {
 	Counters   map[string]int64
 	Gauges     map[string]int64
 	Histograms map[string]histogram.Summary
+
+	hists map[string]*histogram.H
 }
 
 // Snapshot copies every instrument's current value.
@@ -158,6 +162,7 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]int64, len(r.gauges)),
 		Histograms: make(map[string]histogram.Summary, len(r.hists)),
+		hists:      make(map[string]*histogram.H, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.Load()
@@ -166,9 +171,48 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Load()
 	}
 	for name, h := range r.hists {
-		s.Histograms[name] = h.Summary()
+		full := h.Snapshot()
+		s.hists[name] = full
+		s.Histograms[name] = full.Summary()
 	}
 	return s
+}
+
+// Delta returns the interval snapshot s − prev: counters are
+// subtracted (an instrument absent from prev counts from zero), gauges
+// keep their current value (they are instantaneous, not cumulative),
+// and histograms are diffed bucket-wise so the interval summaries
+// report true per-window percentiles.  Both snapshots should come from
+// the same registry with prev taken earlier.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]histogram.Summary, len(s.Histograms)),
+		hists:      make(map[string]*histogram.H, len(s.hists)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.hists {
+		d := h
+		if ph, ok := prev.hists[name]; ok {
+			d = h.Sub(ph)
+		}
+		out.hists[name] = d
+		out.Histograms[name] = d.Summary()
+	}
+	// A snapshot without full data (hand-built, e.g. in tests) still
+	// diffs what it can: summaries pass through unchanged.
+	for name, sum := range s.Histograms {
+		if _, ok := out.Histograms[name]; !ok {
+			out.Histograms[name] = sum
+		}
+	}
+	return out
 }
 
 // String renders the snapshot with one sorted "name value" line per
@@ -197,8 +241,8 @@ func (s Snapshot) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		h := s.Histograms[name]
-		fmt.Fprintf(&b, "%s n=%d mean=%v p50=%v p99=%v max=%v\n",
-			name, h.Count, h.Mean, h.P50, h.P99, h.Max)
+		fmt.Fprintf(&b, "%s n=%d mean=%v p50=%v p99=%v p99.9=%v max=%v\n",
+			name, h.Count, h.Mean, h.P50, h.P99, h.P999, h.Max)
 	}
 	return b.String()
 }

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonSpan is the JSON Lines wire form of a Span.  Timestamps are
+// nanoseconds since the clock epoch; durations are end − start.
+// Lineage and the optional arguments are elided when empty so the
+// common spans stay one short line.
+type jsonSpan struct {
+	ID     uint64   `json:"id"`
+	Parent uint64   `json:"parent,omitempty"`
+	Name   string   `json:"name"`
+	Start  int64    `json:"start_ns"`
+	Dur    int64    `json:"dur_ns"`
+	Level  *int     `json:"level,omitempty"`
+	Bytes  int64    `json:"bytes,omitempty"`
+	Count  int64    `json:"count,omitempty"`
+	In     []uint64 `json:"in,omitempty"`
+	Out    []uint64 `json:"out,omitempty"`
+}
+
+// WriteJSONLines writes one JSON object per span, oldest first — the
+// grep/jq-friendly export.
+func WriteJSONLines(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		sp := &spans[i]
+		js := jsonSpan{
+			ID: sp.ID, Parent: sp.Parent, Name: sp.Name,
+			Start: int64(sp.Start), Dur: int64(sp.End - sp.Start),
+			Bytes: sp.Bytes, Count: sp.Count, In: sp.In, Out: sp.Out,
+		}
+		if sp.Level >= 0 {
+			lvl := sp.Level
+			js.Level = &lvl
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONLines exports the recorder's current spans as JSON Lines.
+// Nil-safe: a nil recorder writes nothing.
+func (r *Recorder) WriteJSONLines(w io.Writer) error {
+	return WriteJSONLines(w, r.Snapshot())
+}
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome
+// trace-event format; the array form loads directly in chrome://tracing
+// and Perfetto.  ts and dur are microseconds (float).
+type chromeEvent struct {
+	Name string     `json:"name"`
+	Cat  string     `json:"cat"`
+	Ph   string     `json:"ph"`
+	Ts   float64    `json:"ts"`
+	Dur  float64    `json:"dur"`
+	Pid  int        `json:"pid"`
+	Tid  int        `json:"tid"`
+	Args chromeArgs `json:"args"`
+}
+
+type chromeArgs struct {
+	ID     uint64   `json:"id"`
+	Parent uint64   `json:"parent,omitempty"`
+	Level  *int     `json:"level,omitempty"`
+	Bytes  int64    `json:"bytes,omitempty"`
+	Count  int64    `json:"count,omitempty"`
+	In     []uint64 `json:"in,omitempty"`
+	Out    []uint64 `json:"out,omitempty"`
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace-event JSON
+// array.  All spans share pid 1; spans at a known level are laid out
+// on one track per level (tid = level+2) so merge storms per level are
+// visible as lanes, everything else lands on tid 1.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i := range spans {
+		sp := &spans[i]
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		ev := chromeEvent{
+			Name: sp.Name, Cat: "iamdb", Ph: "X",
+			Ts:  float64(sp.Start) / 1e3,
+			Dur: float64(sp.End-sp.Start) / 1e3,
+			Pid: 1, Tid: 1,
+			Args: chromeArgs{
+				ID: sp.ID, Parent: sp.Parent,
+				Bytes: sp.Bytes, Count: sp.Count,
+				In: sp.In, Out: sp.Out,
+			},
+		}
+		if sp.Level >= 0 {
+			lvl := sp.Level
+			ev.Args.Level = &lvl
+			ev.Tid = lvl + 2
+		}
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+// WriteChromeTrace exports the recorder's current spans in Chrome
+// trace-event format.  Nil-safe: a nil recorder writes an empty array.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Snapshot())
+}

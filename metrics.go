@@ -7,6 +7,7 @@ import (
 
 	"iamdb/internal/engine"
 	"iamdb/internal/histogram"
+	"iamdb/internal/metrics"
 	"iamdb/internal/vfs"
 )
 
@@ -136,6 +137,64 @@ func (db *DB) Metrics() Metrics {
 	}
 }
 
+// SampleCumulative gathers the monotone counters a Sampler diffs into
+// timeline windows: operation and stall totals, device and per-level
+// traffic, cache lookups, commit pipeline counts and the put-latency
+// histogram.  It holds no DB locks beyond the engine's own stats lock.
+func (db *DB) SampleCumulative() metrics.Cumulative {
+	st := db.eng.Stats()
+	w := make([]int64, len(st.PerLevel))
+	r := make([]int64, len(st.PerLevel))
+	for i, ls := range st.PerLevel {
+		w[i] = ls.WriteBytes
+		r[i] = ls.ReadBytes
+	}
+	_, hits, misses := db.cache.HitRate()
+	io := db.io.Snapshot()
+	return metrics.Cumulative{
+		Ops:           db.putOps.Load() + db.getOps.Load(),
+		StallNanos:    db.stallNanos.Load(),
+		WriteBytes:    io.BytesWritten,
+		ReadBytes:     io.BytesRead,
+		PerLevelWrite: w,
+		PerLevelRead:  r,
+		CacheHits:     hits,
+		CacheLookups:  hits + misses,
+		CommitGroups:  db.commitGroups.Load(),
+		CommitBatches: db.commitBatches.Load(),
+		Put:           db.putHist.Snapshot(),
+	}
+}
+
+// NewSampler attaches a timeline sampler: windowed deltas of the DB's
+// cumulative counters (ops/sec, stall fraction, per-level write/read
+// bytes, cache hit rate, commit group size, put latency) kept in a
+// bounded ring that folds pairwise — doubling the window — when full.
+// window ≤ 0 means one second; capacity ≤ 0 means 128 points.  The
+// sampler is pull-based: call Poll from the workload loop (one atomic
+// load when no window boundary passed) or Timeline, which polls first.
+// A later call replaces the sampler Timeline reads.
+func (db *DB) NewSampler(window time.Duration, capacity int) *Sampler {
+	s := metrics.NewSampler(db.clock, window, capacity, db.SampleCumulative)
+	db.samplerA.Store(s)
+	return s
+}
+
+// Timeline polls the attached sampler and returns its closed windows,
+// oldest first; nil when no sampler is attached (see NewSampler).
+func (db *DB) Timeline() []TimelinePoint {
+	s := db.samplerA.Load()
+	if s == nil {
+		return nil
+	}
+	s.Poll()
+	return s.Points()
+}
+
+// Trace returns the recorder passed in Options.Trace, or nil when
+// tracing is disabled.
+func (db *DB) Trace() *TraceRecorder { return db.tr }
+
 func mb(n int64) float64 { return float64(n) / (1 << 20) }
 
 // String renders the snapshot as a LevelDB-`leveldb.stats`-style
@@ -200,8 +259,8 @@ func (m Metrics) String() string {
 		name string
 		s    histogram.Summary
 	}{{"put", m.Put}, {"get", m.Get}, {"scan", m.Scan}} {
-		fmt.Fprintf(&b, "Latency %-4s n=%d  mean=%v  p50=%v  p99=%v  max=%v\n",
-			h.name, h.s.Count, h.s.Mean, h.s.P50, h.s.P99, h.s.Max)
+		fmt.Fprintf(&b, "Latency %-4s n=%d  mean=%v  p50=%v  p99=%v  p99.9=%v  max=%v\n",
+			h.name, h.s.Count, h.s.Mean, h.s.P50, h.s.P99, h.s.P999, h.s.Max)
 	}
 	return b.String()
 }

@@ -191,7 +191,7 @@ func TestMetricsStringTable(t *testing.T) {
 		IO:                 vfs.IOSnapshot{BytesWritten: 20 << 20, WriteOps: 100, BytesRead: 10 << 20, ReadOps: 50, Seeks: 25},
 		StallCount:         3,
 		StallTime:          1500 * time.Millisecond,
-		Put:                histogram.Summary{Count: 10, Mean: time.Millisecond, P50: time.Millisecond, P99: 2 * time.Millisecond, Max: 3 * time.Millisecond},
+		Put:                histogram.Summary{Count: 10, Mean: time.Millisecond, P50: time.Millisecond, P99: 2 * time.Millisecond, P999: 2 * time.Millisecond, Max: 3 * time.Millisecond},
 	}
 	s := m.String()
 	for _, want := range []string{
@@ -205,7 +205,7 @@ func TestMetricsStringTable(t *testing.T) {
 		"Block cache hit rate: 50.0%",
 		"Write stalls: 3, total 1.5s",
 		"Device IO: 20.0 MB written (100 ops), 10.0 MB read (50 ops), 25 seeks",
-		"Latency put  n=10  mean=1ms  p50=1ms  p99=2ms  max=3ms",
+		"Latency put  n=10  mean=1ms  p50=1ms  p99=2ms  p99.9=2ms  max=3ms",
 	} {
 		if !strings.Contains(s, want) {
 			t.Errorf("String() missing line %q\ngot:\n%s", want, s)

@@ -1,7 +1,10 @@
 package iamdb
 
 import (
+	"time"
+
 	"iamdb/internal/metrics"
+	"iamdb/internal/trace"
 	"iamdb/internal/vfs"
 )
 
@@ -41,6 +44,39 @@ type (
 // harness injects the virtual disk clock so latencies are measured in
 // simulated device time.
 type Clock = metrics.Clock
+
+// TraceRecorder is the structured-tracing ring buffer: spans for
+// commit groups, the flush cascade, compaction jobs (with file
+// lineage) and write stalls.  It is an alias of the internal trace
+// type; construct one with NewTraceRecorder and pass it in
+// Options.Trace, then export via WriteJSONLines / WriteChromeTrace or
+// the debug server's /traces endpoint.
+type TraceRecorder = trace.Recorder
+
+// TraceSpan is one completed span from a TraceRecorder snapshot.
+type TraceSpan = trace.Span
+
+// NewTraceRecorder returns a recorder keeping the last capacity spans
+// (≤ 0 means 4096).  clock should match Options.Clock so span
+// timestamps line up with the latency histograms; nil falls back to
+// zero timestamps.
+func NewTraceRecorder(capacity int, clock Clock) *TraceRecorder {
+	return trace.NewRecorder(capacity, clock)
+}
+
+// NewWallClock returns a real-time Clock reading monotonic time since
+// this call.  Pass the same instance as Options.Clock and to
+// NewTraceRecorder so latency histograms and span timestamps share one
+// epoch (a DB opened with a nil Clock creates its own wall clock, which
+// an outside recorder cannot see).
+func NewWallClock() Clock { return newWallClock() }
+
+// Sampler captures windowed metric deltas into a bounded timeline; see
+// DB.NewSampler.
+type Sampler = metrics.Sampler
+
+// TimelinePoint is one closed window of a Sampler's timeline.
+type TimelinePoint = metrics.TimelinePoint
 
 // NewLoggingListener returns an EventListener that formats every event
 // as one line through logf (e.g. log.Printf or t.Logf).
@@ -151,6 +187,32 @@ type Options struct {
 	// Clock is the monotonic time source for event durations and the
 	// latency histograms in Metrics.  Nil means real monotonic time.
 	Clock Clock
+
+	// Trace records structural spans (commit groups, flush cascade,
+	// compaction jobs, write stalls) into a fixed-size ring.  Nil
+	// disables tracing; the disabled path adds zero allocations to
+	// Put/Get.
+	Trace *TraceRecorder
+
+	// DebugAddr, when non-empty, starts the live introspection server
+	// on that address (e.g. "127.0.0.1:6060"): /metrics, /timeline,
+	// /traces, /levels and /debug/pprof.  The listener closes on
+	// DB.Close.
+	DebugAddr string
+
+	// DebugSampleWindow is the initial timeline window width for the
+	// sampler the debug server starts (default one second; it doubles
+	// as the run outgrows the ring).  Ignored when DebugAddr is empty.
+	DebugSampleWindow time.Duration
+
+	// InlineBackground runs flushes and compactions synchronously on
+	// the committing goroutine instead of background workers.  With a
+	// virtual clock this makes entire runs deterministic — two
+	// identical runs produce byte-identical metrics, timelines and
+	// traces — at the cost of commit latency absorbing background work.
+	// The harness's stability experiment and the golden determinism
+	// tests use it; production configurations should not.
+	InlineBackground bool
 
 	// BgRetryLimit is how many consecutive background flush/compaction
 	// failures the DB tolerates before degrading to read-only mode

@@ -55,6 +55,32 @@ echo "== commit-pipeline bench smoke"
 go test -bench ConcurrentCommit -benchtime 1x -run '^$' -count=1 .
 go run ./cmd/iambench -experiment concurrency -scale small -json .
 
+echo "== observability gates"
+# Tracing/timeline units, byte-identical golden determinism, the
+# disabled-path allocation gate, and the debug-handler endpoints.
+go test -run 'TestGoldenDeterminism|TestTraceSpansPresent|TestDebugHandlers|TestDebugTracesDisabled|TestDebugServerLive|TestObservabilityHotPathZeroAlloc' -count=1 .
+go test -count=1 ./internal/trace/ ./internal/metrics/
+
+echo "== stability experiment smoke"
+# One benchmark iteration drives the windowed-timeline scorer end to
+# end; the emitted BENCH_stability blobs must carry a timeline with
+# enough windows to score variance on.
+go test -bench Stability -benchtime 1x -run '^$' -count=1 ./internal/harness/
+tmpdir=$(mktemp -d)
+go run ./cmd/iambench -experiment stability -scale small -json "$tmpdir" >/dev/null
+python3 - "$tmpdir" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+blob = json.load(open(os.path.join(d, "BENCH_stability.json")))
+assert blob["Meta"]["Schema"] >= 2, "missing run metadata"
+assert any(r.get("Stability") for r in blob["Runs"]), "no stability scores"
+tl = json.load(open(os.path.join(d, "BENCH_stability.timeline.json")))
+wins = [len(r["Timeline"]) for r in tl["Runs"]]
+assert wins and min(wins) >= 50, f"timelines too coarse: {wins}"
+print(f"stability blobs OK: {len(wins)} timelines, {min(wins)}-{max(wins)} windows")
+EOF
+rm -rf "$tmpdir"
+
 if [ "$quick" = "1" ]; then
     echo "CHECK_QUICK=1: skipping crash matrix and race suite."
     echo "All quick checks passed."
@@ -70,7 +96,8 @@ go test -run Crash -count=1 .
 
 echo "== go test -race"
 # The harness simulations exceed go test's default 10-minute timeout
-# under the race detector's ~10x slowdown; give them room.
-go test -race -timeout 45m ./...
+# under the race detector's ~10x slowdown; give them room (the full
+# experiment sweep alone runs ~40m under race).
+go test -race -timeout 60m ./...
 
 echo "All checks passed."
