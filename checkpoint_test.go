@@ -115,3 +115,55 @@ func TestCheckpointFailureLeavesNoManifest(t *testing.T) {
 		t.Fatal("failed manifest sync left a MANIFEST at the destination")
 	}
 }
+
+// TestCheckpointRenameFailureLeavesNoManifest is the rename-specific
+// regression: the final rename that publishes MANIFEST is the commit
+// point, so a rename fault must leave the destination unopenable (no
+// MANIFEST) and a retry after the fault clears must produce a complete,
+// correct copy.
+func TestCheckpointRenameFailureLeavesNoManifest(t *testing.T) {
+	mem := vfs.NewMemFS()
+	ffs := vfs.NewFaultFS(mem)
+	db, err := Open("db", smallOpts(IAM, ffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ref := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		k, v := fmt.Sprintf("k%05d", i%1500), fmt.Sprintf("v%d", i)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		ref[k] = v
+	}
+
+	ffs.FailAfterPath(vfs.FaultRename, "MANIFEST", 0)
+	if err := db.Checkpoint("backup"); err == nil {
+		t.Fatal("checkpoint with failing manifest rename must error")
+	}
+	if mem.Exists("backup/MANIFEST") {
+		t.Fatal("failed rename left a MANIFEST at the destination")
+	}
+	if mem.Exists("backup/MANIFEST.ckpt") {
+		t.Fatal("failed rename left the temporary manifest behind")
+	}
+
+	// Retry once the fault clears: the destination becomes a complete,
+	// openable copy.
+	ffs.Clear()
+	if err := db.Checkpoint("backup"); err != nil {
+		t.Fatalf("retry checkpoint: %v", err)
+	}
+	cp, err := Open("backup", smallOpts(IAM, mem))
+	if err != nil {
+		t.Fatalf("open checkpoint: %v", err)
+	}
+	defer cp.Close()
+	for k, v := range ref {
+		got, err := cp.Get([]byte(k))
+		if err != nil || string(got) != v {
+			t.Fatalf("checkpoint %s = %q (%v) want %q", k, got, err, v)
+		}
+	}
+}

@@ -17,6 +17,9 @@
 //	stats                    print the per-level metrics report
 //	statsjson                print the metrics snapshot as JSON
 //	compact                  run the tuning phase to completion
+//	scrub                    verify every durable byte (table CRCs, WAL
+//	                         records, structure); exit nonzero and list
+//	                         findings on corruption
 //	debug [load-n]           serve live introspection on -addr until
 //	                         interrupted: /metrics, /timeline, /traces,
 //	                         /levels, /debug/pprof; the optional
@@ -170,6 +173,15 @@ func main() {
 			fatalf("compact: %v", err)
 		}
 		fmt.Println("compacted")
+	case "scrub":
+		rep, err := db.Scrub()
+		fmt.Println(rep.String())
+		for _, c := range rep.Corruptions {
+			fmt.Fprintf(os.Stderr, "  %v\n", c)
+		}
+		if err != nil {
+			fatalf("scrub: %v", err)
+		}
 	case "debug":
 		fmt.Printf("debug server on http://%s/ (ctrl-c to stop)\n", db.DebugAddr())
 		stop := make(chan os.Signal, 1)

@@ -7,16 +7,20 @@
 //
 //	iamdump file <path.mst>            # one table's layout + sequences
 //	iamdump file -records <path.mst>   # ... plus every record
+//	iamdump file -verify <path.mst>    # ... plus re-read every block,
+//	                                   # checking every stored CRC
 //	iamdump db <dir>                   # manifest + level summary
 //	iamdump verify <dir>               # deep structural verification
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"iamdb/internal/core"
+	"iamdb/internal/corrupt"
 	"iamdb/internal/kv"
 	"iamdb/internal/manifest"
 	"iamdb/internal/table"
@@ -25,15 +29,26 @@ import (
 
 func main() {
 	records := flag.Bool("records", false, "dump every record")
+	verify := flag.Bool("verify", false, "re-read every block of the file and check every stored CRC")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: iamdump [-records] file|db|verify <path>")
+		fmt.Fprintln(os.Stderr, "usage: iamdump [-records] [-verify] file|db|verify <path>")
 		os.Exit(2)
 	}
 	switch args[0] {
 	case "file":
-		dumpFile(args[1], *records)
+		// Accept the flags after the mode word too (flag.Parse stops at
+		// the first positional argument).
+		ff := flag.NewFlagSet("file", flag.ExitOnError)
+		rec := ff.Bool("records", *records, "dump every record")
+		ver := ff.Bool("verify", *verify, "re-read every block of the file and check every stored CRC")
+		_ = ff.Parse(args[1:])
+		if ff.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "usage: iamdump file [-records] [-verify] <path.mst>")
+			os.Exit(2)
+		}
+		dumpFile(ff.Arg(0), *rec, *ver)
 	case "db":
 		dumpDB(args[1])
 	case "verify":
@@ -44,7 +59,7 @@ func main() {
 	}
 }
 
-func dumpFile(path string, withRecords bool) {
+func dumpFile(path string, withRecords, verify bool) {
 	fs := vfs.NewOSFS()
 	tbl, err := table.Open(fs, path, 0, table.Options{})
 	if err != nil {
@@ -79,6 +94,30 @@ func dumpFile(path string, withRecords bool) {
 		if err := it.Err(); err != nil {
 			fatalf("iterate: %v", err)
 		}
+	}
+	if verify {
+		st, err := tbl.Verify(nil)
+		if err != nil {
+			var ce *corrupt.Error
+			if errors.As(err, &ce) {
+				if ce.Offset >= 0 {
+					fmt.Printf("  verify:     FAILED at offset %d (%s layer)", ce.Offset, ce.Layer)
+				} else {
+					fmt.Printf("  verify:     FAILED (%s layer)", ce.Layer)
+				}
+				if ce.Got != 0 || ce.Want != 0 {
+					fmt.Printf(": crc stored %08x, computed %08x", ce.Got, ce.Want)
+				}
+				if ce.Detail != "" {
+					fmt.Printf(": %s", ce.Detail)
+				}
+				fmt.Println()
+				os.Exit(1)
+			}
+			fatalf("verify: %v", err)
+		}
+		fmt.Printf("  verify:     OK — %d seqs, %d blocks, %d bytes, %d entries, every CRC checked\n",
+			st.Seqs, st.Blocks, st.Bytes, st.Entries)
 	}
 }
 

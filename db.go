@@ -31,6 +31,7 @@ import (
 
 	"iamdb/internal/cache"
 	"iamdb/internal/core"
+	"iamdb/internal/corrupt"
 	"iamdb/internal/engine"
 	"iamdb/internal/histogram"
 	"iamdb/internal/kv"
@@ -180,6 +181,31 @@ type DB struct {
 	bgRetries   *metrics.Counter
 	bgReadonly  *metrics.Counter
 	bgHealNanos *metrics.Counter
+	bgNoSpace   *metrics.Counter
+
+	// Latent-fault accounting (see DESIGN.md "Latent-fault model").
+	corrDetected    *metrics.Counter
+	corrQuarantined *metrics.Counter
+	scrubBlocksC    *metrics.Counter
+
+	// walDrops records WAL tails truncated during recovery, reported as
+	// detections by noteOpenSuspicion: a torn tail after a crash and a
+	// rotted final record are physically indistinguishable, so recovery
+	// that drops bytes must always be visible to the operator.
+	walDrops []walDrop
+
+	// scrub holds the state of the current / most recent Scrub pass
+	// (see scrub.go).  scrub.mu is a leaf lock: nothing else is
+	// acquired while it is held.
+	scrub struct {
+		mu      sync.Mutex
+		running bool
+		last    *ScrubReport
+		lastErr error
+		tables  atomic.Int64
+		blocks  atomic.Int64
+		bytes   atomic.Int64
+	}
 
 	flushC   chan struct{}
 	compactC chan struct{}
@@ -256,6 +282,10 @@ func Open(dir string, opt *Options) (*DB, error) {
 	db.bgRetries = db.reg.Counter("bg.retries")
 	db.bgReadonly = db.reg.Counter("bg.readonly")
 	db.bgHealNanos = db.reg.Counter("bg.heal.nanos")
+	db.bgNoSpace = db.reg.Counter("bg.nospace")
+	db.corrDetected = db.reg.Counter("corruption.detected")
+	db.corrQuarantined = db.reg.Counter("corruption.quarantined")
+	db.scrubBlocksC = db.reg.Counter("scrub.blocks")
 	db.commitGroups = db.reg.Counter("commit.groups")
 	db.commitBatches = db.reg.Counter("commit.batches")
 	db.commitWait = db.reg.Counter("commit.wait.nanos")
@@ -271,6 +301,7 @@ func Open(dir string, opt *Options) (*DB, error) {
 		db.eng.Close()
 		return nil, err
 	}
+	db.noteOpenSuspicion()
 	db.seqA.Store(uint64(db.seq))
 	db.mu.Lock()
 	db.publishStateLocked()
@@ -407,7 +438,11 @@ func (db *DB) replayLog(num uint64) error {
 		return err
 	}
 	defer f.Close()
-	_, err = wal.ReplayAll(f, func(rec []byte) error {
+	// Strict replay: a torn tail (crash mid-append) is tolerated and
+	// truncated, but a damaged record with valid data after it is
+	// corruption of already-acknowledged writes — it aborts the open
+	// with a typed error instead of silently dropping the suffix.
+	dropped, err := wal.ReplayAllStrict(f, logName(db.dir, num), func(rec []byte) error {
 		last, err := decodeRecordInto(rec, db.mem)
 		if err != nil {
 			return err
@@ -423,7 +458,16 @@ func (db *DB) replayLog(num uint64) error {
 		}
 		return nil
 	})
+	if dropped > 0 {
+		db.walDrops = append(db.walDrops, walDrop{num: num, bytes: dropped})
+	}
 	return err
+}
+
+// walDrop records one truncated recovery tail for noteOpenSuspicion.
+type walDrop struct {
+	num   uint64
+	bytes int64
 }
 
 // Put stores a key/value pair.
@@ -526,6 +570,13 @@ func (db *DB) commitGroup(group []*commitOp) {
 		return
 	}
 	mem, walW := db.mem, db.walW
+	// A successful append below heals a previously-latched WAL error
+	// (space came back); flush/compaction errors are left for their own
+	// retry loops to clear.
+	healWal := false
+	if be, ok := db.bgErr.(*BackgroundError); ok && be.Op == "wal" {
+		healWal = true
+	}
 	db.mu.Unlock()
 
 	if ctx := db.labelCommit; ctx != nil {
@@ -551,10 +602,14 @@ func (db *DB) commitGroup(group []*commitOp) {
 		// so a replay after crash can never collide with a reuse.
 		db.seq = seq
 		sp.End()
+		db.noteCommitError(err)
 		finishGroup(group, err)
 		return
 	}
 	wsp.End()
+	if healWal {
+		db.noteBgSuccess()
+	}
 
 	asp := sp.Child("commit.apply")
 	s := db.seq
@@ -700,6 +755,126 @@ func (db *DB) rotateLocked() error {
 	return nil
 }
 
+// fileNumFromPath recovers the table file number from a path like
+// "dir/000123.mst", so a corruption error's provenance can be mapped
+// back to the engine's quarantine list.
+func fileNumFromPath(path string) (uint64, bool) {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	base, ok := strings.CutSuffix(path, ".mst")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// noteCorruption inspects an error from the read path (or scrub).  If
+// it carries corruption provenance the detection is counted, the event
+// fired, and — when the damage names a table file — the table is
+// quarantined so compaction never rewrites (and thereby launders or
+// spreads) the damaged data.  Reads keep being served from quarantined
+// tables: intact blocks are still correct, and damaged ones keep
+// returning the typed error.
+func (db *DB) noteCorruption(err error) {
+	ce := AsCorruption(err)
+	if ce == nil {
+		return
+	}
+	db.corrDetected.Inc()
+	db.events.CorruptionDetected(metrics.CorruptionInfo{
+		Path: ce.Path, Layer: ce.Layer, Offset: ce.Offset, Detail: ce.Detail,
+	})
+	num, ok := fileNumFromPath(ce.Path)
+	if !ok {
+		return
+	}
+	q, ok := db.eng.(engine.Quarantiner)
+	if !ok {
+		return
+	}
+	if q.Quarantine(num, ce.Error()) {
+		db.corrQuarantined.Inc()
+		db.events.TableQuarantined(metrics.TableInfo{FileNum: num, Level: -1})
+	}
+}
+
+// noteOpenSuspicion surfaces the damage evidence recovery gathered:
+// tables the engine quarantined at load (footer-slot fallback or a
+// failed higher-generation candidate — the signature of either a crash
+// mid-commit or a rotted footer) and manifest tail bytes dropped by
+// strict replay.  Runs once from Open, before workers start.
+func (db *DB) noteOpenSuspicion() {
+	if q, ok := db.eng.(engine.Quarantiner); ok {
+		for _, qi := range q.Quarantined() {
+			db.corrDetected.Inc()
+			db.corrQuarantined.Inc()
+			db.events.CorruptionDetected(metrics.CorruptionInfo{
+				Path: qi.Path, Layer: corrupt.LayerTableFooter, Offset: -1, Detail: qi.Reason,
+			})
+			db.events.TableQuarantined(metrics.TableInfo{FileNum: qi.FileNum, Level: qi.Level})
+		}
+	}
+	for _, wd := range db.walDrops {
+		db.corrDetected.Inc()
+		db.events.CorruptionDetected(metrics.CorruptionInfo{
+			Path: logName(db.dir, wd.num), Layer: corrupt.LayerWAL, Offset: -1,
+			Detail: fmt.Sprintf("recovery truncated %d trailing bytes", wd.bytes),
+		})
+	}
+	if rd, ok := db.eng.(interface{ RecoveryDropped() int64 }); ok {
+		if n := rd.RecoveryDropped(); n > 0 {
+			db.corrDetected.Inc()
+			db.events.CorruptionDetected(metrics.CorruptionInfo{
+				Path: db.dir, Layer: corrupt.LayerManifest, Offset: -1,
+				Detail: fmt.Sprintf("manifest replay dropped %d trailing bytes", n),
+			})
+		}
+	}
+}
+
+// noteCommitError latches a WAL-append failure from the commit path as
+// a background error.  Unlike noteBgError it never sleeps and never
+// calls Resume — the failing writer is a foreground goroutine and gets
+// its error back immediately — but the same consecutive-failure
+// counting degrades the DB to read-only once the limit is exceeded, so
+// a full disk stops the write path instead of burning sequence ranges
+// forever.
+func (db *DB) noteCommitError(err error) {
+	if errors.Is(err, vfs.ErrNoSpace) {
+		db.bgNoSpace.Inc()
+	}
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return
+	}
+	if db.bgErr == nil {
+		db.bgErrSince = int64(db.clock.Now())
+	}
+	db.bgErr = &BackgroundError{Op: "wal", Err: err}
+	db.bgFails++
+	try := db.bgFails
+	db.bgRetries.Inc()
+	enteredRO := false
+	if !db.readonly && try > db.opt.BgRetryLimit {
+		db.readonly = true
+		enteredRO = true
+		db.bgReadonly.Inc()
+	}
+	cause := db.bgErr
+	db.cond.Broadcast()
+	db.mu.Unlock()
+	db.events.BackgroundError(metrics.BackgroundErrorInfo{Op: "wal", Err: err, Retries: try})
+	if enteredRO {
+		db.events.ReadOnlyEnter(metrics.ReadOnlyInfo{Cause: cause})
+	}
+}
+
 // noteBgError records one failed background attempt: it latches the
 // error, counts the retry, degrades to read-only after BgRetryLimit
 // consecutive failures, asks the engine to Resume (rewrite its
@@ -708,6 +883,10 @@ func (db *DB) rotateLocked() error {
 // retry; false means the DB is closing or the backoff abandoned the
 // loop (the worker goes back to waiting for a kick).
 func (db *DB) noteBgError(op string, err error) bool {
+	if errors.Is(err, vfs.ErrNoSpace) {
+		db.bgNoSpace.Inc()
+	}
+	db.noteCorruption(err)
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -969,6 +1148,7 @@ func (db *DB) getRawAt(key []byte, snap kv.Seq, mem, imm *memtable.MemTable) ([]
 	}
 	v, kind, _, found, err := db.eng.Get(key, snap)
 	if err != nil {
+		db.noteCorruption(err)
 		return nil, 0, err
 	}
 	if !found {
@@ -1014,46 +1194,13 @@ func (db *DB) Close() error {
 // compaction — the paper's "tuning phase" run to completion.  Used by
 // experiments before measuring stable performance.
 func (db *DB) CompactAll() error {
-	mem, err := db.detachMem()
-	if err != nil {
+	if err := db.Flush(); err != nil {
 		return err
-	}
-	if mem.Count() > 0 {
-		if err := db.eng.Flush(mem.NewIter()); err != nil {
-			return err
-		}
 	}
 	if d, ok := db.eng.(*lsm.DB); ok {
 		return d.DrainCompactions()
 	}
 	return nil
-}
-
-// detachMem quiesces the commit pipeline (no leader is mid-commit once
-// commitMu is held), waits out any in-flight background flush, and
-// swaps a fresh mutable memtable in, returning the detached one for
-// the caller to flush.
-func (db *DB) detachMem() (*memtable.MemTable, error) {
-	db.commitMu.Lock()
-	defer db.commitMu.Unlock()
-	db.mu.Lock()
-	for db.imm != nil && !db.closed && !db.readonly {
-		db.cond.Wait()
-	}
-	if db.closed {
-		db.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if db.readonly {
-		err := errors.Join(ErrReadOnly, db.bgErr)
-		db.mu.Unlock()
-		return nil, err
-	}
-	mem := db.mem
-	db.mem = memtable.New()
-	db.publishStateLocked()
-	db.mu.Unlock()
-	return mem, nil
 }
 
 // MixedLevel reports IAM's current (m, k) tuning; zero for baselines.
@@ -1068,14 +1215,64 @@ func (db *DB) MixedLevel() (m, k int) {
 // flush to finish.  Reads are unaffected; use it before measuring
 // on-disk state or creating external copies.
 func (db *DB) Flush() error {
-	mem, err := db.detachMem()
-	if err != nil {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	if db.opt.InlineBackground {
+		// No workers in inline mode: drain any leftover immutable
+		// memtable (e.g. from an earlier failed Flush) ourselves.
+		db.inlineBG()
+	}
+	db.mu.Lock()
+	for db.imm != nil && !db.closed && !db.readonly {
+		db.cond.Wait()
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	if db.readonly {
+		err := errors.Join(ErrReadOnly, db.bgErr)
+		db.mu.Unlock()
 		return err
 	}
-	if mem.Count() == 0 {
+	if db.mem.Count() == 0 {
+		db.mu.Unlock()
 		return nil
 	}
-	return db.eng.Flush(mem.NewIter())
+	// Move the memtable through the same immutable-slot pipeline as
+	// automatic flushes: a failed engine flush then keeps the data
+	// readable (and retried) in the immutable memtable instead of
+	// dropping acknowledged writes on the floor.
+	err := db.rotateLocked()
+	db.mu.Unlock()
+	if err != nil {
+		// The memtable is still in place; count the failure like any
+		// other commit-path fault so a full disk degrades the store
+		// instead of failing opaquely forever.
+		db.noteCommitError(err)
+		return err
+	}
+	if db.opt.InlineBackground {
+		db.inlineBG()
+	}
+	db.mu.Lock()
+	for db.imm != nil && !db.closed && !db.readonly && db.bgErr == nil {
+		db.cond.Wait()
+	}
+	switch {
+	case db.imm == nil:
+		err = nil
+	case db.readonly:
+		err = errors.Join(ErrReadOnly, db.bgErr)
+	case db.bgErr != nil:
+		// The flush attempt failed; the background worker keeps
+		// retrying with the data safe in the immutable memtable.
+		err = db.bgErr
+	default:
+		err = ErrClosed
+	}
+	db.mu.Unlock()
+	return err
 }
 
 // ApproximateSize estimates the on-disk bytes of data stored in the

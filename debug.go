@@ -9,6 +9,8 @@ import (
 	httppprof "net/http/pprof"
 	"runtime/pprof"
 	"time"
+
+	"iamdb/internal/engine"
 )
 
 // startDebugServer brings up the live introspection server on addr
@@ -96,6 +98,7 @@ func (db *DB) DebugHandler() http.Handler {
 	mux.HandleFunc("/timeline", db.handleDebugTimeline)
 	mux.HandleFunc("/traces", db.handleDebugTraces)
 	mux.HandleFunc("/levels", db.handleDebugLevels)
+	mux.HandleFunc("/scrub", db.handleDebugScrub)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -115,6 +118,7 @@ func (db *DB) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "/timeline       windowed time-series (JSON)")
 	fmt.Fprintln(w, "/traces         spans as JSON Lines (?format=chrome)")
 	fmt.Fprintln(w, "/levels         per-level tree view")
+	fmt.Fprintln(w, "/scrub          scrub progress (POST or ?start=1 to begin a pass)")
 	fmt.Fprintln(w, "/debug/pprof/   pprof index")
 }
 
@@ -168,10 +172,59 @@ func (db *DB) handleDebugLevels(w http.ResponseWriter, r *http.Request) {
 		for i := 0; i < bar; i++ {
 			fmt.Fprint(w, "#")
 		}
+		if li.Quarantined > 0 {
+			fmt.Fprintf(w, "  [%d quarantined]", li.Quarantined)
+		}
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "space used %.1f MB, write amplification %.2f\n",
 		mb(m.SpaceUsed), m.WriteAmplification())
+	if q, ok := db.eng.(engine.Quarantiner); ok {
+		if qs := q.Quarantined(); len(qs) > 0 {
+			fmt.Fprintf(w, "\nquarantined tables (%d):\n", len(qs))
+			for _, qi := range qs {
+				fmt.Fprintf(w, "  L%-2d %06d %s — %s\n", qi.Level, qi.FileNum, qi.Path, qi.Reason)
+			}
+		}
+	}
+}
+
+// handleDebugScrub reports scrub progress; POST (or ?start=1) kicks
+// off an asynchronous pass when none is running.
+func (db *DB) handleDebugScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost || r.URL.Query().Get("start") == "1" {
+		// The Add-under-mu ordering makes the spawn race-free against
+		// Close's wg.Wait: Close flips closed under the same mutex
+		// before it waits, so either we see closed (and skip) or our
+		// Add happens before the Wait.
+		db.mu.Lock()
+		if !db.closed {
+			db.wg.Add(1)
+			go func() {
+				defer db.wg.Done()
+				pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+					pprof.Labels("iamdb", "scrub")))
+				_, _ = db.Scrub() // ErrScrubRunning when one is in flight
+			}()
+		}
+		db.mu.Unlock()
+	}
+	p := db.ScrubProgress()
+	out := struct {
+		Running        bool
+		Tables, Blocks int64
+		Bytes          int64
+		Last           *ScrubReport `json:",omitempty"`
+		LastSummary    string       `json:",omitempty"`
+		LastErr        string       `json:",omitempty"`
+	}{Running: p.Running, Tables: p.Tables, Blocks: p.Blocks, Bytes: p.Bytes, Last: p.Last}
+	if p.Last != nil {
+		out.LastSummary = p.Last.String()
+	}
+	if p.LastErr != nil {
+		out.LastErr = p.LastErr.Error()
+	}
+	writeDebugJSON(w, out)
 }
 
 func writeDebugJSON(w http.ResponseWriter, v any) {

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"iamdb/internal/cache"
+	"iamdb/internal/corrupt"
 	"iamdb/internal/engine"
 	"iamdb/internal/invariants"
 	"iamdb/internal/iterator"
@@ -137,6 +138,12 @@ type node struct {
 	tbl  *table.Table
 	rng  kv.Range
 	refs int32 // guarded by Tree.mu; table closes at zero
+	// quarantined fences the node after detected corruption: it keeps
+	// serving whatever reads still succeed but is never picked as a
+	// combine victim and does not count toward level thresholds (an
+	// uncompactable node would otherwise wedge the maintain loop).
+	quarantined bool
+	qreason     string
 }
 
 func (nd *node) dataSize() int64 { return nd.tbl.DataSize() }
@@ -184,6 +191,11 @@ type Tree struct {
 	// recursive flush/split/combine jobs nest (guarded by mu).
 	curSpan uint64
 
+	// recoveryDropped is the byte count the manifest replay discarded
+	// at its tail on open (a torn final append); >0 is suspicious and
+	// surfaced to the DB layer via RecoveryDropped.
+	recoveryDropped int64
+
 	stats engine.Stats
 }
 
@@ -200,10 +212,11 @@ func Open(cfg Config) (*Tree, error) {
 	t := &Tree{cfg: cfg, horizon: kv.MaxSeq}
 	manPath := cfg.Dir + "/" + manifestName
 	if cfg.FS.Exists(manPath) {
-		st, err := manifest.Replay(cfg.FS, manPath)
+		st, dropped, err := manifest.ReplayStrict(cfg.FS, manPath)
 		if err != nil {
 			return nil, err
 		}
+		t.recoveryDropped = dropped
 		if err := t.loadState(st); err != nil {
 			return nil, err
 		}
@@ -247,9 +260,23 @@ func (t *Tree) loadState(st *manifest.State) error {
 				rec.FileNum, table.Options{Cache: t.cfg.Cache, BitsPerKey: t.cfg.BitsPerKey,
 					Compression: t.cfg.Compression})
 			if err != nil {
+				if errors.Is(err, vfs.ErrNotFound) {
+					// A manifest that references a node the directory no
+					// longer holds is store corruption (typically a rotted
+					// manifest record rolling state back past the node's
+					// deletion), not a plain I/O failure.
+					err = corrupt.New(corrupt.LayerManifest,
+						engine.TableFileName(t.cfg.Dir, rec.FileNum), -1,
+						manifest.ErrCorrupt, "manifest references a missing table file")
+				}
 				return fmt.Errorf("core: open node %d: %w", rec.FileNum, err)
 			}
 			nd := &node{num: rec.FileNum, tbl: tbl, rng: kv.MakeRange(rec.Lo, rec.Hi), refs: 1}
+			if serr := tbl.Suspect(); serr != nil {
+				// Opened on a fallback footer slot or with other evidence
+				// of damage: keep the node readable but fenced.
+				nd.quarantined, nd.qreason = true, serr.Error()
+			}
 			t.levels[lvl] = append(t.levels[lvl], nd)
 		}
 	}
@@ -299,6 +326,93 @@ func (t *Tree) sortLevel(i int) {
 
 // full reports whether a node reached the size threshold Ct.
 func (t *Tree) full(nd *node) bool { return nd.dataSize() >= t.cfg.NodeCapacity }
+
+// activeCount counts level i nodes eligible for compaction work;
+// quarantined nodes are excluded from threshold accounting because the
+// maintain loop could never combine them away.
+func (t *Tree) activeCount(i int) int {
+	n := 0
+	for _, nd := range t.levels[i] {
+		if !nd.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveryDropped reports the manifest bytes dropped as a torn tail
+// during the last Open; >0 means the recovered state may lag the last
+// acknowledged edit and the DB layer flags it as suspected corruption.
+func (t *Tree) RecoveryDropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recoveryDropped
+}
+
+// Quarantine implements engine.Quarantiner.
+func (t *Tree) Quarantine(num uint64, reason string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			if nd.num != num {
+				continue
+			}
+			if nd.quarantined {
+				return false
+			}
+			nd.quarantined, nd.qreason = true, reason
+			return true
+		}
+	}
+	return false
+}
+
+// Quarantined implements engine.Quarantiner.
+func (t *Tree) Quarantined() []engine.QuarantineInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []engine.QuarantineInfo
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			if nd.quarantined {
+				out = append(out, engine.QuarantineInfo{
+					Level: i, FileNum: nd.num,
+					Path:   engine.TableFileName(t.cfg.Dir, nd.num),
+					Reason: nd.qreason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// VisitTables implements engine.TableVisitor: fn sees a referenced
+// snapshot of the current tree, called without the tree lock so a slow
+// scrub does not block flushes.
+func (t *Tree) VisitTables(fn func(level int, num uint64, tbl *table.Table) error) error {
+	type ent struct {
+		level int
+		nd    *node
+	}
+	t.mu.Lock()
+	var ents []ent
+	for i := 1; i <= t.n(); i++ {
+		for _, nd := range t.levels[i] {
+			t.ref(nd)
+			ents = append(ents, ent{i, nd})
+		}
+	}
+	t.mu.Unlock()
+	var err error
+	for _, e := range ents {
+		if err == nil {
+			err = fn(e.level, e.nd.num, e.nd.tbl)
+		}
+		t.unref(e.nd)
+	}
+	return err
+}
 
 // childSpan returns the half-open index interval [start, end) of nodes
 // in levels[i+1] overlapping rng.  Ranges within a level are disjoint
@@ -519,6 +633,9 @@ func (t *Tree) Levels() []engine.LevelInfo {
 		for _, nd := range t.levels[i] {
 			info.Bytes += nd.dataSize()
 			info.Seqs += nd.tbl.NumSeqs()
+			if nd.quarantined {
+				info.Quarantined++
+			}
 		}
 		out = append(out, info)
 	}
@@ -594,8 +711,10 @@ func (t *Tree) checkInvariantsLocked() error {
 					i, lvl[j-1].rng, nd.rng)
 			}
 		}
-		if i < t.n() && len(lvl) > t.threshold(i) {
-			return fmt.Errorf("L%d has %d nodes > threshold %d", i, len(lvl), t.threshold(i))
+		// Quarantined nodes are excused from the threshold: they cannot
+		// be combined away without reading their (corrupt) contents.
+		if i < t.n() && t.activeCount(i) > t.threshold(i) {
+			return fmt.Errorf("L%d has %d nodes > threshold %d", i, t.activeCount(i), t.threshold(i))
 		}
 	}
 	return nil

@@ -590,6 +590,12 @@ func (t *Tree) writeNodesFrom(it iterator.Iterator, limit int64) ([]*node, int64
 		total += res.Bytes
 		nodes = append(nodes, &node{num: num, tbl: tbl, rng: tbl.UserRange(), refs: 1})
 	}
+	// An iterator whose very first position failed never enters the
+	// loop above: without this check a corrupt input would read as
+	// empty and the merge would silently discard the node's data.
+	if err := it.Err(); err != nil {
+		return nodes, total, err
+	}
 	return nodes, total, nil
 }
 
@@ -707,7 +713,9 @@ func (t *Tree) maintain() error {
 		}
 		fixed := true
 		for i := t.n() - 1; i >= 1; i-- {
-			if len(t.levels[i]) > t.threshold(i) {
+			// Quarantined nodes are excluded: they can never be combined
+			// away, so counting them would wedge this loop.
+			if t.activeCount(i) > t.threshold(i) {
 				if err := t.combineOne(i); err != nil {
 					return err
 				}
@@ -733,6 +741,9 @@ func (t *Tree) combineOne(i int) error {
 	}
 	best, bestTcn := -1, 1<<30
 	for j := 1; j < len(lvl)-1; j++ {
+		if lvl[j].quarantined {
+			continue // combining would read the corrupt contents
+		}
 		own := len(t.children(i, lvl[j].rng))
 		if own >= 2*t.cfg.Fanout {
 			continue
@@ -744,14 +755,20 @@ func (t *Tree) combineOne(i int) error {
 		}
 	}
 	if best < 0 {
-		// Fallback: the node with the fewest children.
+		// Fallback: the non-quarantined node with the fewest children.
 		fewest := 1 << 30
 		for j := range lvl {
+			if lvl[j].quarantined {
+				continue
+			}
 			own := len(t.children(i, lvl[j].rng))
 			if own < fewest {
 				best, fewest = j, own
 			}
 		}
+	}
+	if best < 0 {
+		return nil // every node fenced; maintain's active count excuses them
 	}
 	t.stats.CountCombine(i)
 	sp := t.cfg.Trace.BeginAt("core.combine", t.curSpan)

@@ -1,0 +1,75 @@
+// Package corrupt defines the typed corruption error every on-disk
+// format layer (block, table, wal, manifest) threads upward, so a
+// flipped bit on synced data surfaces with provenance — which file,
+// which byte range, which format layer caught it — instead of a bare
+// sentinel.  The public API re-exports Error as iamdb.CorruptionError.
+//
+// Each layer keeps its own sentinel (block.ErrCorrupt, table.ErrCorrupt,
+// wal.ErrCorrupt, manifest.ErrCorrupt); an Error wraps the sentinel as
+// its cause, so errors.Is against the sentinels keeps working while
+// errors.As(*corrupt.Error) recovers the attribution.
+package corrupt
+
+import "fmt"
+
+// Format layers that detect corruption, for Error.Layer.
+const (
+	LayerBlock       = "block"        // prefix-compressed k/v block structure
+	LayerTableFooter = "table.footer" // MSTable footer slots
+	LayerTableMeta   = "table.meta"   // MSTable metadata region / index blocks
+	LayerTableBlock  = "table.block"  // MSTable data block CRC / payload
+	LayerWAL         = "wal"          // write-ahead-log fragments
+	LayerManifest    = "manifest"     // manifest edit records
+)
+
+// Error describes one detected corruption with provenance.  Got and
+// Want carry the stored and recomputed checksums when the detection was
+// a CRC mismatch (both zero otherwise).
+type Error struct {
+	// Path is the file the corruption was found in.
+	Path string
+	// Offset is the byte offset of the damaged region within Path;
+	// -1 when the layer cannot attribute an exact position.
+	Offset int64
+	// Layer names the format layer that detected the fault (one of the
+	// Layer* constants).
+	Layer string
+	// Got is the checksum stored on disk; Want is the checksum
+	// recomputed over the data it claims to cover.
+	Got, Want uint32
+	// Detail is a short human-readable description of the finding.
+	Detail string
+
+	cause error
+}
+
+// New builds an Error attributed to layer/path/offset, wrapping cause
+// (normally the detecting package's sentinel) for errors.Is.
+func New(layer, path string, offset int64, cause error, detail string) *Error {
+	return &Error{Layer: layer, Path: path, Offset: offset, Detail: detail, cause: cause}
+}
+
+// WithCRC records the stored/recomputed checksum pair on e and returns
+// it, for CRC-mismatch detections.
+func (e *Error) WithCRC(got, want uint32) *Error {
+	e.Got, e.Want = got, want
+	return e
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	s := fmt.Sprintf("corruption in %s layer %s", e.Path, e.Layer)
+	if e.Offset >= 0 {
+		s += fmt.Sprintf(" @%d", e.Offset)
+	}
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	if e.Got != 0 || e.Want != 0 {
+		s += fmt.Sprintf(" (crc stored %08x, computed %08x)", e.Got, e.Want)
+	}
+	return s
+}
+
+// Unwrap exposes the detecting layer's sentinel to errors.Is.
+func (e *Error) Unwrap() error { return e.cause }

@@ -11,6 +11,7 @@ import (
 
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
+	"iamdb/internal/table"
 )
 
 // Engine is a storage tree: it accepts flushed memtables, performs its
@@ -53,11 +54,18 @@ type LevelInfo struct {
 	Nodes int
 	Bytes int64 // data bytes stored
 	Seqs  int   // total sorted sequences across nodes
+	// Quarantined counts nodes fenced off after detected corruption
+	// (still readable, never chosen as compaction input).
+	Quarantined int
 }
 
 func (l LevelInfo) String() string {
-	return fmt.Sprintf("L%d: %d nodes, %d seqs, %.1f MiB",
+	s := fmt.Sprintf("L%d: %d nodes, %d seqs, %.1f MiB",
 		l.Level, l.Nodes, l.Seqs, float64(l.Bytes)/(1<<20))
+	if l.Quarantined > 0 {
+		s += fmt.Sprintf(", %d quarantined", l.Quarantined)
+	}
+	return s
 }
 
 // Stats accumulates compaction-side counters, broken down by level.
@@ -323,4 +331,35 @@ type Resumer interface {
 // agreement).  Used by crash-recovery tests as an oracle.
 type Checker interface {
 	CheckInvariants() error
+}
+
+// QuarantineInfo identifies one quarantined table for reporting.
+type QuarantineInfo struct {
+	Level   int
+	FileNum uint64
+	Path    string
+	Reason  string
+}
+
+// Quarantiner is implemented by engines that can fence a corrupt
+// table: a quarantined table keeps serving whatever reads still
+// succeed, but is never chosen as compaction input — so background
+// work neither loops on an unreadable file nor rewrites (and thereby
+// discards) a partially-readable one before an operator intervenes.
+// The DB layer quarantines on detected corruption and reports via
+// metrics and /levels.
+type Quarantiner interface {
+	// Quarantine fences the table with file number num, reporting
+	// whether the mark is new (false when already quarantined or the
+	// file is unknown to the engine).
+	Quarantine(num uint64, reason string) bool
+	// Quarantined lists the currently fenced tables.
+	Quarantined() []QuarantineInfo
+}
+
+// TableVisitor is implemented by engines that can walk their open
+// tables for offline-style verification (DB.Scrub).  fn runs without
+// engine locks held where possible; returning an error stops the walk.
+type TableVisitor interface {
+	VisitTables(fn func(level int, num uint64, t *table.Table) error) error
 }

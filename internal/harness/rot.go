@@ -1,0 +1,370 @@
+package harness
+
+// Corruption-point matrix (the latent-fault sibling of the crash
+// matrix in crash.go).  A RotWorkload builds a deterministic store,
+// closes it cleanly, damages exactly one byte of the synced image at a
+// chosen (file × offset) point, reopens, and checks the rot oracle:
+//
+//   - the reopen either succeeds or fails with a typed corruption
+//     error naming the damaged file — never a panic, never an
+//     unattributed failure,
+//   - every key the reopened store serves returns bytes it actually
+//     acknowledged at some point (wrong data is never forgiven;
+//     detection does not launder reads),
+//   - an acknowledged key may be missing or stale only when the store
+//     *detected* corruption (typed read error, open-time suspicion, or
+//     quarantine) — silent loss is a violation,
+//   - when the damage was provably harmless (zeroing an already-zero
+//     byte) the store must behave as if nothing happened: every key
+//     exact, nothing detected, nothing quarantined — quarantine must
+//     never hide an uncorrupted table.
+//
+// Points are enumerated per trial from that trial's own store image
+// (deterministic builds make the landscapes identical), covering file
+// heads, interior fractions and tail regions — footers, final WAL
+// blocks and manifest tails rot in practice more than anywhere else.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"iamdb"
+	"iamdb/internal/vfs"
+)
+
+// rotKeyspace is the number of distinct user keys the scripted build
+// touches; overwrites and deletes make recovery resolve versions.
+const rotKeyspace = 300
+
+// RotWorkload describes one corruption-matrix scenario.
+type RotWorkload struct {
+	// Engine picks the storage tree under test.
+	Engine iamdb.EngineKind
+	// Mode selects flip or zero damage.
+	Mode vfs.RotMode
+	// Seed fixes the scripted build (default 1).
+	Seed int64
+	// Ops is the scripted operation count (default 500).
+	Ops int
+}
+
+func (w RotWorkload) withDefaults() RotWorkload {
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+	if w.Ops == 0 {
+		w.Ops = 500
+	}
+	return w
+}
+
+// rotOracle is the acknowledged-history model: latest state plus every
+// value each key ever held, because damage that rolls durable state
+// back (a truncated manifest tail) legally resurfaces older acked
+// values once the store has flagged the corruption.
+type rotOracle struct {
+	latest  map[string]string // key -> last acked value
+	deleted map[string]bool   // key -> last op was an acked delete
+	hist    map[string]map[string]bool
+}
+
+func newRotOracle() *rotOracle {
+	return &rotOracle{
+		latest:  make(map[string]string),
+		deleted: make(map[string]bool),
+		hist:    make(map[string]map[string]bool),
+	}
+}
+
+func (o *rotOracle) put(k, v string) {
+	o.latest[k] = v
+	o.deleted[k] = false
+	if o.hist[k] == nil {
+		o.hist[k] = make(map[string]bool)
+	}
+	o.hist[k][v] = true
+}
+
+func (o *rotOracle) del(k string) {
+	delete(o.latest, k)
+	o.deleted[k] = true
+}
+
+// openRotDB opens the deliberately tiny store: a few hundred operations
+// exercise WAL rotation, flushes, compaction cascades and splits.
+// InlineBackground makes the build single-threaded and therefore the
+// on-disk landscape deterministic, so every trial of a workload sees
+// the same files at the same sizes.
+func openRotDB(fs vfs.FS, eng iamdb.EngineKind) (*iamdb.DB, error) {
+	return iamdb.Open("db", &iamdb.Options{
+		Engine:       eng,
+		FS:           fs,
+		MemtableSize: 2 * 1024, CacheSize: 64 * 1024,
+		MemBudget: 8 * 1024, Fanout: 4, K: 2,
+		FileSize: 4 * 1024, LevelSizeBase: 16 * 1024,
+		L0CompactTrigger: 2,
+		SyncWrites:       true,
+		InlineBackground: true,
+		BgRetryLimit:     2,
+		BgBackoff:        func(failures int) bool { return failures < 3 },
+	})
+}
+
+// build writes the scripted workload and closes the store cleanly,
+// flushing first so the acknowledged state is all in the engine — a
+// rotted WAL tail must then never cost an acknowledged key.
+func (w RotWorkload) build(fs vfs.FS) (*rotOracle, error) {
+	db, err := openRotDB(fs, w.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("build open: %w", err)
+	}
+	o := newRotOracle()
+	rng := rand.New(rand.NewSource(w.Seed))
+	for i := 0; i < w.Ops; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(rotKeyspace))
+		if i%17 == 13 {
+			if err := db.Delete([]byte(k)); err != nil {
+				_ = db.Close()
+				return nil, fmt.Errorf("build delete: %w", err)
+			}
+			o.del(k)
+			continue
+		}
+		v := fmt.Sprintf("val-%06d-%s", i, k)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			_ = db.Close()
+			return nil, fmt.Errorf("build put: %w", err)
+		}
+		o.put(k, v)
+	}
+	if err := db.Flush(); err != nil {
+		_ = db.Close()
+		return nil, fmt.Errorf("build flush: %w", err)
+	}
+	// A final unflushed batch leaves real records in the live WAL, so
+	// log-rot trials exercise recovery replay rather than an empty file.
+	// SyncWrites means these are acknowledged durable too.
+	for i := 0; i < 12; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(rotKeyspace))
+		v := fmt.Sprintf("val-tail%02d-%s", i, k)
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			_ = db.Close()
+			return nil, fmt.Errorf("build tail put: %w", err)
+		}
+		o.put(k, v)
+	}
+	if err := db.Close(); err != nil {
+		return nil, fmt.Errorf("build close: %w", err)
+	}
+	return o, nil
+}
+
+// RotPoint is one corruption target in a built store.
+type RotPoint struct {
+	Path string
+	Off  int64
+}
+
+// rotPoints enumerates the matrix points of a built store: for every
+// durable file, its head bytes, interior fractions, and a dense tail
+// region (footer slots, WAL block tails, the manifest's last records).
+func rotPoints(fs vfs.FS, dir string) ([]RotPoint, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var pts []RotPoint
+	for _, name := range names {
+		path := dir + "/" + name
+		f, err := fs.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		size, err := f.Size()
+		_ = f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if size == 0 {
+			continue
+		}
+		offs := map[int64]bool{}
+		for _, o := range []int64{0, 1, 2, size / 8, size / 4, size / 3, 3 * size / 8,
+			size / 2, 5 * size / 8, 2 * size / 3, 3 * size / 4, 7 * size / 8} {
+			if o >= 0 && o < size {
+				offs[o] = true
+			}
+		}
+		for _, d := range []int64{1, 2, 3, 5, 9, 13, 17, 25, 33, 41, 48} {
+			if size-d >= 0 {
+				offs[size-d] = true
+			}
+		}
+		sorted := make([]int64, 0, len(offs))
+		for o := range offs {
+			sorted = append(sorted, o)
+		}
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+		for _, o := range sorted {
+			pts = append(pts, RotPoint{Path: path, Off: o})
+		}
+	}
+	return pts, nil
+}
+
+// PointCount builds the store once and reports how many matrix points
+// it exposes, for sizing a sweep.
+func (w RotWorkload) PointCount() (int, error) {
+	w = w.withDefaults()
+	fs := vfs.NewMemFS()
+	if _, err := w.build(fs); err != nil {
+		return 0, err
+	}
+	pts, err := rotPoints(fs, "db")
+	if err != nil {
+		return 0, err
+	}
+	return len(pts), nil
+}
+
+// Trial builds the store, damages point index slot (mod the point
+// count), reopens and checks the oracle.  A non-nil error is an oracle
+// violation or an infrastructure failure.
+func (w RotWorkload) Trial(slot int) error {
+	w = w.withDefaults()
+	fs := vfs.NewMemFS()
+	o, err := w.build(fs)
+	if err != nil {
+		return err
+	}
+	pts, err := rotPoints(fs, "db")
+	if err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return fmt.Errorf("no corruption points in built store")
+	}
+	p := pts[slot%len(pts)]
+	_, _, changed, err := vfs.CorruptByte(fs, p.Path, p.Off, w.Mode)
+	if err != nil {
+		return fmt.Errorf("corrupt %s@%d: %w", p.Path, p.Off, err)
+	}
+
+	db, err := openRotDB(fs, w.Engine)
+	if err != nil {
+		ce := iamdb.AsCorruption(err)
+		if ce == nil {
+			return fmt.Errorf("%s %s@%d: open failed with untyped error: %v",
+				w.Mode, p.Path, p.Off, err)
+		}
+		if ce.Path == "" {
+			return fmt.Errorf("%s %s@%d: typed open failure names no file: %v",
+				w.Mode, p.Path, p.Off, err)
+		}
+		if !changed {
+			return fmt.Errorf("%s %s@%d: open failed after provably harmless damage: %v",
+				w.Mode, p.Path, p.Off, err)
+		}
+		return nil // detected loudly at open; acceptable outcome
+	}
+	verr := w.verify(db, o, p, changed)
+	_ = db.Close()
+	return verr
+}
+
+// verify checks the reopened store against the oracle with the
+// forgiveness rules from the package comment.
+func (w RotWorkload) verify(db *iamdb.DB, o *rotOracle, p RotPoint, changed bool) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("%s %s@%d: %s", w.Mode, p.Path, p.Off, fmt.Sprintf(format, args...))
+	}
+	// Deferred violations: silent-loss findings that a detection
+	// flagged by the end of the pass forgives.
+	var forgivable []string
+
+	for i := 0; i < rotKeyspace; i++ {
+		k := fmt.Sprintf("key%04d", i)
+		v, err := db.Get([]byte(k))
+		want, acked := o.latest[k]
+		switch {
+		case err == nil:
+			if string(v) == want && acked {
+				continue
+			}
+			if !o.hist[k][string(v)] {
+				return fail("key %s returned bytes never acknowledged: %q", k, v)
+			}
+			// A stale (historically acked) value: legal only once the
+			// store flags corruption.
+			forgivable = append(forgivable, fmt.Sprintf("key %s stale: %q, want %q", k, v, want))
+		case err == iamdb.ErrNotFound:
+			if acked {
+				forgivable = append(forgivable, fmt.Sprintf("key %s missing, want %q", k, want))
+			}
+		case iamdb.IsCorruption(err):
+			// The typed error is itself a detection; nothing to forgive.
+		default:
+			return fail("key %s read failed with untyped error: %v", k, err)
+		}
+	}
+
+	it := db.NewIterator()
+	for it.First(); it.Valid(); it.Next() {
+		k, v := string(it.Key()), string(it.Value())
+		if o.latest[k] == v {
+			continue
+		}
+		if !o.hist[k][v] {
+			it.Close()
+			return fail("scan surfaced never-acknowledged %s=%q", k, v)
+		}
+		forgivable = append(forgivable, fmt.Sprintf("scan stale %s=%q", k, v))
+	}
+	if err := it.Err(); err != nil && !iamdb.IsCorruption(err) {
+		it.Close()
+		return fail("scan failed with untyped error: %v", err)
+	}
+	_ = it.Close()
+
+	// Probe write: the store stays writable unless it has detected
+	// damage and degraded.
+	probeErr := db.Put([]byte("zz-post-rot-probe"), []byte("ok"))
+
+	m := db.Metrics()
+	detected := m.CorruptionsDetected > 0
+
+	if !changed {
+		// Harmless damage: the store must be bit-for-bit healthy.
+		if len(forgivable) > 0 {
+			return fail("harmless damage but state diverged: %s", forgivable[0])
+		}
+		if detected || m.TablesQuarantined > 0 {
+			return fail("harmless damage but store reported %d detections, %d quarantined",
+				m.CorruptionsDetected, m.TablesQuarantined)
+		}
+		if probeErr != nil {
+			return fail("harmless damage but probe write failed: %v", probeErr)
+		}
+		return nil
+	}
+	if len(forgivable) > 0 && !detected {
+		return fail("silent loss, nothing detected: %s (and %d more)",
+			forgivable[0], len(forgivable)-1)
+	}
+	if probeErr != nil {
+		if !detected {
+			return fail("probe write failed with no detection: %v", probeErr)
+		}
+		if !iamdb.IsCorruption(probeErr) && !isReadonlyErr(probeErr) {
+			return fail("probe write failed with unexpected error: %v", probeErr)
+		}
+	}
+	return nil
+}
+
+func isReadonlyErr(err error) bool {
+	return errors.Is(err, iamdb.ErrReadOnly)
+}

@@ -91,6 +91,12 @@ func (d *DB) writeFiles(it iterator.Iterator, limit int64) ([]*file, int64, erro
 		total += res.Bytes
 		files = append(files, &file{num: num, tbl: tbl, rng: tbl.UserRange(), refs: 1})
 	}
+	// An iterator whose very first position failed never enters the
+	// loop above: without this check a corrupt input would read as
+	// empty and the compaction would silently discard the level's data.
+	if err := it.Err(); err != nil {
+		return files, total, err
+	}
 	return files, total, nil
 }
 
@@ -105,24 +111,66 @@ const overflowTolerance = 2.0
 // pickCompaction scores every level (L0 by file count, others by size
 // over threshold) and returns the level to compact, or -1.  strict
 // ignores the LevelDB profile's overflow tolerance (used to settle the
-// tree — the "tuning phase").
+// tree — the "tuning phase").  Quarantined files neither score (see
+// levelBytes/activeCount) nor block scheduling of other levels, but a
+// level whose compaction would have to merge with a quarantined target
+// file is skipped entirely: rewriting a fenced file would destroy the
+// evidence, and attempting to read it would fail the merge forever.
 func (d *DB) pickCompaction(strict bool) (int, float64) {
 	trigger := 1.0
 	if !strict && d.cfg.Profile == ProfileLevelDB {
 		trigger = overflowTolerance
 	}
 	best, bestScore := -1, 0.0
-	s0 := float64(len(d.levels[0])) / float64(d.cfg.L0CompactTrigger)
-	if s0 >= 1 && s0 > bestScore {
+	s0 := float64(d.activeCount(0)) / float64(d.cfg.L0CompactTrigger)
+	if s0 >= 1 && s0 > bestScore && !d.compactionBlocked(0) {
 		best, bestScore = 0, s0
 	}
 	for i := 1; i < len(d.levels)-1; i++ {
 		s := float64(d.levelBytes(i)) / float64(d.threshold(i))
-		if s >= trigger && s > bestScore {
+		if s >= trigger && s > bestScore && !d.compactionBlocked(i) {
 			best, bestScore = i, s
 		}
 	}
 	return best, bestScore
+}
+
+// compactionBlocked reports whether compacting level i would need a
+// quarantined file from level i+1 as merge input.
+func (d *DB) compactionBlocked(i int) bool {
+	inputs := d.compactionInputs(i)
+	if len(inputs) == 0 {
+		return true
+	}
+	var span kv.Range
+	for _, f := range inputs {
+		span = span.Union(f.rng)
+	}
+	for _, f := range d.levels[i+1] {
+		if f.quarantined && f.rng.Overlaps(span) {
+			return true
+		}
+	}
+	return false
+}
+
+// compactionInputs selects the level-i files the next compaction would
+// consume: all eligible L0 files, or the round-robin pick for deeper
+// levels.  Quarantined files are never selected.
+func (d *DB) compactionInputs(i int) []*file {
+	var inputs []*file
+	if i == 0 {
+		for _, f := range d.levels[0] {
+			if !f.quarantined {
+				inputs = append(inputs, f)
+			}
+		}
+		return inputs
+	}
+	if f := d.pickFileRoundRobin(i); f != nil {
+		inputs = append(inputs, f)
+	}
+	return inputs
 }
 
 // NeedsWork implements engine.Engine.
@@ -141,7 +189,9 @@ func (d *DB) StallLevel() int {
 }
 
 func (d *DB) stallLocked() int {
-	n := len(d.levels[0])
+	// Quarantined L0 files can never compact away; counting them would
+	// stall writes permanently.
+	n := d.activeCount(0)
 	switch {
 	case n >= 3*d.cfg.L0CompactTrigger:
 		return 2
@@ -182,11 +232,9 @@ func (d *DB) WorkStep() (bool, error) {
 
 // compactLevel merges level i inputs into level i+1.
 func (d *DB) compactLevel(i int) error {
-	var inputs []*file
-	if i == 0 {
-		inputs = append(inputs, d.levels[0]...)
-	} else {
-		inputs = append(inputs, d.pickFileRoundRobin(i))
+	inputs := d.compactionInputs(i)
+	if len(inputs) == 0 {
+		return nil // everything eligible is quarantined
 	}
 	var span kv.Range
 	for _, f := range inputs {
@@ -195,6 +243,12 @@ func (d *DB) compactLevel(i int) error {
 	var overlaps []*file
 	for _, f := range d.levels[i+1] {
 		if f.rng.Overlaps(span) {
+			if f.quarantined {
+				// Merging through a fenced file would either fail on its
+				// corruption or rewrite away the evidence; leave this
+				// level alone (pickCompaction avoids scheduling it).
+				return nil
+			}
 			overlaps = append(overlaps, f)
 		}
 	}
@@ -300,17 +354,26 @@ func (d *DB) isBottom(dst int) bool {
 	return true
 }
 
-// pickFileRoundRobin picks the next file of level i after the level's
-// compact pointer, wrapping (the LevelDB strategy).
+// pickFileRoundRobin picks the next non-quarantined file of level i
+// after the level's compact pointer, wrapping (the LevelDB strategy).
+// Returns nil when every file of the level is quarantined.
 func (d *DB) pickFileRoundRobin(i int) *file {
 	lvl := d.levels[i]
 	cur := d.cursor[i]
 	for _, f := range lvl {
+		if f.quarantined {
+			continue
+		}
 		if cur == nil || kv.CompareUser(f.rng.Lo, cur) > 0 {
 			return f
 		}
 	}
-	return lvl[0]
+	for _, f := range lvl {
+		if !f.quarantined {
+			return f
+		}
+	}
+	return nil
 }
 
 func (d *DB) removeFrom(i int, f *file) {

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"iamdb/internal/cache"
+	"iamdb/internal/corrupt"
 	"iamdb/internal/engine"
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
@@ -116,6 +117,12 @@ type file struct {
 	tbl  *table.Table
 	rng  kv.Range
 	refs int32
+	// quarantined fences the file after detected corruption: it keeps
+	// serving whatever reads still succeed, but is never chosen as
+	// compaction input and does not count toward compaction triggers
+	// (an uncompactable file would otherwise spin the scheduler).
+	quarantined bool
+	qreason     string
 }
 
 // DB is the baseline leveled LSM engine.  Filesystem-layer locks nest
@@ -138,6 +145,11 @@ type DB struct {
 	// stopped (the LevelDB compact pointer).
 	cursor map[int][]byte
 	stats  engine.Stats
+
+	// recoveryDropped is the byte count the manifest replay discarded
+	// at its tail on open (a torn final append); >0 is suspicious and
+	// surfaced to the DB layer via RecoveryDropped.
+	recoveryDropped int64
 }
 
 var _ engine.Engine = (*DB)(nil)
@@ -154,10 +166,11 @@ func Open(cfg Config) (*DB, error) {
 	d.levels = make([][]*file, cfg.MaxLevels)
 	manPath := cfg.Dir + "/" + manifestName
 	if cfg.FS.Exists(manPath) {
-		st, err := manifest.Replay(cfg.FS, manPath)
+		st, dropped, err := manifest.ReplayStrict(cfg.FS, manPath)
 		if err != nil {
 			return nil, err
 		}
+		d.recoveryDropped = dropped
 		if err := d.loadState(st); err != nil {
 			return nil, err
 		}
@@ -191,9 +204,23 @@ func (d *DB) loadState(st *manifest.State) error {
 				rec.FileNum, table.Options{Cache: d.cfg.Cache, BitsPerKey: d.cfg.BitsPerKey,
 					Compression: d.cfg.Compression})
 			if err != nil {
+				if errors.Is(err, vfs.ErrNotFound) {
+					// A manifest that references a table the directory no
+					// longer holds is store corruption (typically a rotted
+					// manifest record rolling state back past the table's
+					// deletion), not a plain I/O failure.
+					err = corrupt.New(corrupt.LayerManifest,
+						engine.TableFileName(d.cfg.Dir, rec.FileNum), -1,
+						manifest.ErrCorrupt, "manifest references a missing table file")
+				}
 				return fmt.Errorf("lsm: open file %d: %w", rec.FileNum, err)
 			}
 			f := &file{num: rec.FileNum, tbl: tbl, rng: kv.MakeRange(rec.Lo, rec.Hi), refs: 1}
+			if serr := tbl.Suspect(); serr != nil {
+				// The table opened on a fallback footer slot or with other
+				// evidence of damage: keep it readable but fenced.
+				f.quarantined, f.qreason = true, serr.Error()
+			}
 			d.levels[lvl] = append(d.levels[lvl], f)
 		}
 	}
@@ -322,12 +349,103 @@ func (d *DB) threshold(i int) int64 {
 	return th
 }
 
+// levelBytes sums the compactable data bytes of level i.  Quarantined
+// files are excluded: they can never be compaction inputs, so counting
+// them would leave the scheduler permanently over threshold.
 func (d *DB) levelBytes(i int) int64 {
 	var n int64
 	for _, f := range d.levels[i] {
+		if f.quarantined {
+			continue
+		}
 		n += f.tbl.DataSize()
 	}
 	return n
+}
+
+// activeCount counts level i files eligible for compaction.
+func (d *DB) activeCount(i int) int {
+	n := 0
+	for _, f := range d.levels[i] {
+		if !f.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// RecoveryDropped reports the manifest bytes dropped as a torn tail
+// during the last Open; >0 means the recovered state may lag the last
+// acknowledged edit and the DB layer flags it as suspected corruption.
+func (d *DB) RecoveryDropped() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.recoveryDropped
+}
+
+// Quarantine implements engine.Quarantiner.
+func (d *DB) Quarantine(num uint64, reason string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.levels {
+		for _, f := range d.levels[i] {
+			if f.num != num {
+				continue
+			}
+			if f.quarantined {
+				return false
+			}
+			f.quarantined, f.qreason = true, reason
+			return true
+		}
+	}
+	return false
+}
+
+// Quarantined implements engine.Quarantiner.
+func (d *DB) Quarantined() []engine.QuarantineInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []engine.QuarantineInfo
+	for i := range d.levels {
+		for _, f := range d.levels[i] {
+			if f.quarantined {
+				out = append(out, engine.QuarantineInfo{
+					Level: i, FileNum: f.num,
+					Path:   engine.TableFileName(d.cfg.Dir, f.num),
+					Reason: f.qreason,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// VisitTables implements engine.TableVisitor: fn sees a referenced
+// snapshot of the current tree, called without the engine lock so a
+// slow scrub does not block writes.
+func (d *DB) VisitTables(fn func(level int, num uint64, t *table.Table) error) error {
+	type ent struct {
+		level int
+		f     *file
+	}
+	d.mu.Lock()
+	var ents []ent
+	for i := range d.levels {
+		for _, f := range d.levels[i] {
+			d.ref(f)
+			ents = append(ents, ent{i, f})
+		}
+	}
+	d.mu.Unlock()
+	var err error
+	for _, e := range ents {
+		if err == nil {
+			err = fn(e.level, e.f.num, e.f.tbl)
+		}
+		d.unref(e.f)
+	}
+	return err
 }
 
 // SetHorizon implements engine.Engine.
@@ -374,6 +492,9 @@ func (d *DB) Levels() []engine.LevelInfo {
 		for _, f := range d.levels[i] {
 			info.Bytes += f.tbl.DataSize()
 			info.Seqs += f.tbl.NumSeqs()
+			if f.quarantined {
+				info.Quarantined++
+			}
 		}
 		out = append(out, info)
 	}

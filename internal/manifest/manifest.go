@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"iamdb/internal/corrupt"
 	"iamdb/internal/kv"
 	"iamdb/internal/vfs"
 	"iamdb/internal/wal"
@@ -286,21 +287,38 @@ func (l *Log) Close() error { return l.f.Close() }
 
 // Replay loads the state from a manifest file.
 func Replay(fs vfs.FS, name string) (*State, error) {
+	st, _, err := ReplayStrict(fs, name)
+	return st, err
+}
+
+// ReplayStrict loads the state from a manifest file with the strict
+// log reader: a torn final append (crash mid-Append) is tolerated and
+// reported via dropped > 0 so the caller can flag the regression, but
+// mid-log corruption — damage with valid edits after it — aborts with
+// a *corrupt.Error naming the manifest rather than silently replaying
+// a truncated history.  Malformed or inapplicable edits behind a valid
+// checksum abort the same way.
+func ReplayStrict(fs vfs.FS, name string) (*State, int64, error) {
 	f, err := fs.Open(name)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	st := &State{}
-	_, err = wal.ReplayAll(f, func(rec []byte) error {
+	dropped, err := wal.ReplayAllStrict(f, name, func(rec []byte) error {
 		e, err := decodeEdit(rec)
 		if err != nil {
-			return err
+			return corrupt.New(corrupt.LayerManifest, name, -1,
+				errors.Join(ErrCorrupt, err), "edit record malformed")
 		}
-		return st.Apply(e)
+		if err := st.Apply(e); err != nil {
+			return corrupt.New(corrupt.LayerManifest, name, -1,
+				errors.Join(ErrCorrupt, err), "edit not applicable to replayed state")
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, dropped, err
 	}
-	return st, nil
+	return st, dropped, nil
 }

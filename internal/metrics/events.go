@@ -100,6 +100,22 @@ type BackgroundErrorInfo struct {
 	Retries int
 }
 
+// CorruptionInfo describes one detected latent-media fault: a
+// checksum mismatch or structural damage attributed to a file.
+type CorruptionInfo struct {
+	// Path is the damaged file.
+	Path string
+	// Layer names the format layer that detected the damage
+	// ("block", "table.footer", "table.meta", "table.block", "wal",
+	// "manifest").
+	Layer string
+	// Offset is the byte offset of the damage within the file, or -1
+	// when the layer cannot attribute one.
+	Offset int64
+	// Detail is a human-readable description of the damage.
+	Detail string
+}
+
 // ReadOnlyInfo describes the DB entering or leaving read-only
 // degradation after repeated background failures.
 type ReadOnlyInfo struct {
@@ -131,6 +147,11 @@ type EventListener struct {
 	BackgroundError func(BackgroundErrorInfo)
 	ReadOnlyEnter   func(ReadOnlyInfo)
 	ReadOnlyExit    func(ReadOnlyInfo)
+	// CorruptionDetected fires once per detected corruption (read
+	// path, open-time suspicion, or scrub).  TableQuarantined fires
+	// when a table is newly fenced off as a consequence.
+	CorruptionDetected func(CorruptionInfo)
+	TableQuarantined   func(TableInfo)
 }
 
 // EnsureDefaults returns a copy of the listener with every nil
@@ -186,6 +207,12 @@ func (l *EventListener) EnsureDefaults() *EventListener {
 	if out.ReadOnlyExit == nil {
 		out.ReadOnlyExit = func(ReadOnlyInfo) {}
 	}
+	if out.CorruptionDetected == nil {
+		out.CorruptionDetected = func(CorruptionInfo) {}
+	}
+	if out.TableQuarantined == nil {
+		out.TableQuarantined = func(TableInfo) {}
+	}
 	return &out
 }
 
@@ -237,6 +264,12 @@ func NewLoggingListener(logf func(format string, args ...any)) *EventListener {
 		},
 		ReadOnlyExit: func(i ReadOnlyInfo) {
 			logf("read-only: healed after %v", i.Duration)
+		},
+		CorruptionDetected: func(i CorruptionInfo) {
+			logf("corruption: %s layer %s @%d: %s", i.Path, i.Layer, i.Offset, i.Detail)
+		},
+		TableQuarantined: func(i TableInfo) {
+			logf("table quarantined: %06d L%d", i.FileNum, i.Level)
 		},
 	}
 }
@@ -321,6 +354,16 @@ func TeeListener(ls ...*EventListener) *EventListener {
 		ReadOnlyExit: func(i ReadOnlyInfo) {
 			for _, l := range filled {
 				l.ReadOnlyExit(i)
+			}
+		},
+		CorruptionDetected: func(i CorruptionInfo) {
+			for _, l := range filled {
+				l.CorruptionDetected(i)
+			}
+		},
+		TableQuarantined: func(i TableInfo) {
+			for _, l := range filled {
+				l.TableQuarantined(i)
 			}
 		},
 	}

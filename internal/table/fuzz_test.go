@@ -1,0 +1,97 @@
+package table
+
+import (
+	"errors"
+	"testing"
+
+	"iamdb/internal/corrupt"
+	"iamdb/internal/vfs"
+)
+
+// FuzzTableOpen feeds arbitrary bytes to the table opener: Open either
+// succeeds (possibly marking the table Suspect) or fails with a typed
+// corruption error; a table that opens must iterate and Verify without
+// panicking, failing only with attributed errors.  This is the
+// file-level counterpart of the DB-wide corruption matrix.
+func FuzzTableOpen(f *testing.F) {
+	buildSeed := func(mutate func([]byte)) []byte {
+		fs := vfs.NewMemFS()
+		tb, err := Create(fs, "seed.mst", 1, MinCapacity, Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		if _, err := tb.Append(kvIter(7, "alpha", "beta", "gamma", "delta")); err != nil {
+			f.Fatal(err)
+		}
+		if err := tb.Sync(); err != nil {
+			f.Fatal(err)
+		}
+		tb.Close()
+		sf, err := fs.Open("seed.mst")
+		if err != nil {
+			f.Fatal(err)
+		}
+		defer sf.Close()
+		size, _ := sf.Size()
+		buf := make([]byte, size)
+		if _, err := sf.ReadAt(buf, 0); err != nil {
+			f.Fatal(err)
+		}
+		if mutate != nil {
+			mutate(buf)
+		}
+		return buf
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 96))
+	f.Add(buildSeed(nil))
+	f.Add(buildSeed(func(b []byte) { b[10] ^= 0xff }))        // data damage
+	f.Add(buildSeed(func(b []byte) { b[len(b)-20] ^= 0xff })) // footer damage
+	f.Add(buildSeed(func(b []byte) { b[len(b)/2] ^= 0xff }))  // interior damage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := vfs.NewMemFS()
+		tf, err := fs.Create("f.mst")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tf.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		tf.Close()
+
+		tb, err := Open(fs, "f.mst", 1, Options{})
+		if err != nil {
+			var ce *corrupt.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("open failed with untyped error: %v", err)
+			}
+			return
+		}
+		defer tb.Close()
+		_ = tb.Suspect()
+
+		it := tb.NewIter()
+		n := 0
+		for it.First(); it.Valid(); it.Next() {
+			_, _ = it.Key(), it.Value()
+			if n++; n > 1<<17 {
+				t.Fatalf("iterator never terminates (%d entries)", n)
+			}
+		}
+		if err := it.Err(); err != nil {
+			var ce *corrupt.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("iteration failed with untyped error: %v", err)
+			}
+		}
+		it.Close()
+
+		if _, err := tb.Verify(nil); err != nil {
+			var ce *corrupt.Error
+			if !errors.As(err, &ce) {
+				t.Fatalf("verify failed with untyped error: %v", err)
+			}
+		}
+	})
+}

@@ -41,6 +41,7 @@ import (
 	"iamdb/internal/block"
 	"iamdb/internal/bloom"
 	"iamdb/internal/cache"
+	"iamdb/internal/corrupt"
 	"iamdb/internal/invariants"
 	"iamdb/internal/iterator"
 	"iamdb/internal/kv"
@@ -105,9 +106,28 @@ type Table struct {
 	// metaFloor and gen belong to the appender (like the write side of
 	// dataEnd): metaFloor is the start of the last committed metadata
 	// copy — the next copy is written strictly below it — and gen is
-	// the committed footer generation.
+	// the committed footer generation.  metaLen is the committed copy's
+	// length, kept for Verify's raw re-read.
 	metaFloor int64
+	metaLen   int64
 	gen       uint64
+
+	// suspect records lost-commit evidence noticed at Open: a non-zero
+	// footer slot that failed validation, or a higher-generation
+	// candidate whose metadata did not check out before a lower one was
+	// accepted.  Crash recovery legitimately produces both signatures
+	// (a torn in-flight footer write), so the table stays readable; the
+	// DB layer quarantines it conservatively.
+	suspect *corrupt.Error
+}
+
+// Suspect reports the lost-commit evidence noticed when the table was
+// opened, or nil when both footer slots told a consistent story.
+func (t *Table) Suspect() error {
+	if t.suspect == nil {
+		return nil
+	}
+	return t.suspect
 }
 
 // snapshotSeqs returns the current sequence list for lock-free reads.
@@ -206,17 +226,34 @@ func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 	}
 	if size < tailLen {
 		_ = f.Close()
-		return nil, fmt.Errorf("%w: file %s shorter than footer", ErrCorrupt, name)
+		return nil, corrupt.New(corrupt.LayerTableFooter, name, size, ErrCorrupt,
+			"file shorter than footer tail")
 	}
 	var tail [tailLen]byte
 	if _, err := f.ReadAt(tail[:], size-tailLen); err != nil {
 		_ = f.Close()
 		return nil, err
 	}
+	// A slot that fails validation without being virgin zeros is either
+	// a torn in-flight footer write (crash) or rot of a committed slot;
+	// the two are indistinguishable by content, so remember the first
+	// such finding and let the caller quarantine conservatively.
+	var suspect *corrupt.Error
+	note := func(layer string, off int64, detail string, got, want uint32) {
+		if suspect == nil {
+			suspect = corrupt.New(layer, name, off, ErrCorrupt, detail).WithCRC(got, want)
+		}
+	}
 	var cands []footerInfo
 	for s := 0; s < 2; s++ {
-		if fi, ok := parseFooter(tail[s*footerSlot : (s+1)*footerSlot]); ok {
+		slot := tail[s*footerSlot : (s+1)*footerSlot]
+		if fi, ok := parseFooter(slot); ok {
 			cands = append(cands, fi)
+			continue
+		}
+		if !allZero(slot) {
+			note(corrupt.LayerTableFooter, size-tailLen+int64(s*footerSlot),
+				"non-empty footer slot fails validation", 0, 0)
 		}
 	}
 	if len(cands) == 2 && cands[0].gen < cands[1].gen {
@@ -224,23 +261,33 @@ func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 	}
 	for _, fi := range cands {
 		if fi.metaOff < 0 || fi.metaLen < 0 || fi.metaOff+fi.metaLen > size-tailLen {
+			note(corrupt.LayerTableMeta, fi.metaOff,
+				fmt.Sprintf("gen %d metadata pointer out of bounds", fi.gen), 0, 0)
 			continue
 		}
 		raw := make([]byte, fi.metaLen)
 		if fi.metaLen > 0 {
 			if _, err := f.ReadAt(raw, fi.metaOff); err != nil {
+				note(corrupt.LayerTableMeta, fi.metaOff,
+					fmt.Sprintf("gen %d metadata unreadable: %v", fi.gen, err), 0, 0)
 				continue
 			}
 		}
-		if crc32.Checksum(raw, castagnoli) != fi.metaCRC {
+		if got := crc32.Checksum(raw, castagnoli); got != fi.metaCRC {
+			note(corrupt.LayerTableMeta, fi.metaOff,
+				fmt.Sprintf("gen %d metadata checksum mismatch", fi.gen), fi.metaCRC, got)
 			continue
 		}
 		t := &Table{fs: fs, f: f, name: name, id: id, capacity: size,
 			cache: opt.Cache, bitsKey: opt.bits(), compress: opt.Compression,
-			metaFloor: fi.metaOff, gen: fi.gen}
+			metaFloor: fi.metaOff, metaLen: fi.metaLen, gen: fi.gen, suspect: suspect}
 		if err := t.parseMeta(raw, fi.seqCount); err != nil {
+			t.seqs = nil
+			note(corrupt.LayerTableMeta, fi.metaOff,
+				fmt.Sprintf("gen %d metadata malformed: %v", fi.gen, err), 0, 0)
 			continue
 		}
+		t.suspect = suspect
 		for _, s := range t.seqs {
 			if end := int64(s.DataOff + s.DataLen); end > t.dataEnd {
 				t.dataEnd = end
@@ -249,7 +296,20 @@ func Open(fs vfs.FS, name string, id uint64, opt Options) (*Table, error) {
 		return t, nil
 	}
 	_ = f.Close()
-	return nil, fmt.Errorf("%w: no valid footer in %s", ErrCorrupt, name)
+	if suspect != nil {
+		return nil, suspect
+	}
+	return nil, corrupt.New(corrupt.LayerTableFooter, name, size-tailLen, ErrCorrupt,
+		"no valid footer")
+}
+
+func allZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // writeMeta serializes all sequence metadata into fresh tail space
@@ -293,6 +353,7 @@ func (t *Table) writeMeta() error {
 	}
 	t.gen = gen
 	t.metaFloor = metaOff
+	t.metaLen = int64(len(buf))
 	return nil
 }
 
@@ -439,16 +500,18 @@ const (
 	blockFlate = 1
 )
 
-// verifyBlock checks a data block's CRC trailer and returns the
-// decoded (decompressed if needed) payload.
-func verifyBlock(raw []byte) ([]byte, error) {
+// verifyBlockAt checks a data block's CRC trailer and returns the
+// decoded (decompressed if needed) payload.  Failures come back as a
+// *corrupt.Error attributed to name/off.
+func verifyBlockAt(raw []byte, name string, off uint64) ([]byte, error) {
 	if len(raw) < blockTrailerLen {
-		return nil, fmt.Errorf("%w: short block", ErrCorrupt)
+		return nil, corrupt.New(corrupt.LayerTableBlock, name, int64(off), ErrCorrupt, "short block")
 	}
 	body := raw[:len(raw)-4]
-	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
-	if crc32.Checksum(body, castagnoli) != want {
-		return nil, fmt.Errorf("%w: block checksum mismatch", ErrCorrupt)
+	stored := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if computed := crc32.Checksum(body, castagnoli); computed != stored {
+		return nil, corrupt.New(corrupt.LayerTableBlock, name, int64(off), ErrCorrupt,
+			"block checksum mismatch").WithCRC(stored, computed)
 	}
 	payload := body[:len(body)-1]
 	switch body[len(body)-1] {
@@ -459,11 +522,13 @@ func verifyBlock(raw []byte) ([]byte, error) {
 		out, err := io.ReadAll(r)
 		r.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%w: flate: %v", ErrCorrupt, err)
+			return nil, corrupt.New(corrupt.LayerTableBlock, name, int64(off), ErrCorrupt,
+				fmt.Sprintf("flate: %v", err))
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("%w: unknown block compression %d", ErrCorrupt, body[len(body)-1])
+		return nil, corrupt.New(corrupt.LayerTableBlock, name, int64(off), ErrCorrupt,
+			fmt.Sprintf("unknown block compression %d", body[len(body)-1]))
 	}
 }
 
@@ -493,11 +558,15 @@ func (t *Table) readBlock(off, length uint64) ([]byte, error) {
 	}
 	buf := make([]byte, length)
 	if _, err := t.f.ReadAt(buf, int64(off)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, corrupt.New(corrupt.LayerTableBlock, t.name, int64(off), ErrCorrupt,
+				"block extends past end of file")
+		}
 		return nil, err
 	}
-	payload, err := verifyBlock(buf)
+	payload, err := verifyBlockAt(buf, t.name, off)
 	if err != nil {
-		return nil, fmt.Errorf("%w in %s @%d", err, t.name, off)
+		return nil, err
 	}
 	if t.cache != nil {
 		t.cache.Set(t.id, off, payload)
@@ -577,6 +646,134 @@ func (t *Table) AppendFrom(it iterator.Iterator, limit int64) (AppendResult, err
 
 // Sync flushes the table file.
 func (t *Table) Sync() error { return t.f.Sync() }
+
+// VerifyStats reports what a Verify pass covered.
+type VerifyStats struct {
+	Seqs    int
+	Blocks  int64
+	Bytes   int64
+	Entries uint64
+}
+
+// Verify re-reads the table from disk and checks everything the format
+// protects: footer + metadata discovery (the same procedure Open
+// uses), every data block's CRC (bypassing the cache — scrub checks
+// the disk, not memory), index structure, record ordering, record
+// containment in the sequence bounds, Bloom membership of every user
+// key, and per-sequence entry counts.  onBlock, when non-nil, runs
+// after each verified data block with its on-disk size, for progress
+// counting and rate limiting.  The first failure is returned as a
+// *corrupt.Error.  Safe against a concurrent appender: committed
+// sequences and their blocks are immutable, and at least one footer
+// slot is always intact mid-commit.
+func (t *Table) Verify(onBlock func(n int64)) (VerifyStats, error) {
+	var st VerifyStats
+	size, err := t.f.Size()
+	if err != nil {
+		return st, err
+	}
+	if size < tailLen {
+		return st, corrupt.New(corrupt.LayerTableFooter, t.name, size, ErrCorrupt,
+			"file shorter than footer tail")
+	}
+	var tail [tailLen]byte
+	if _, err := t.f.ReadAt(tail[:], size-tailLen); err != nil {
+		return st, err
+	}
+	footOK := false
+	for s := 0; s < 2 && !footOK; s++ {
+		fi, valid := parseFooter(tail[s*footerSlot : (s+1)*footerSlot])
+		if !valid || fi.metaOff < 0 || fi.metaLen < 0 || fi.metaOff+fi.metaLen > size-tailLen {
+			continue
+		}
+		raw := make([]byte, fi.metaLen)
+		if fi.metaLen > 0 {
+			if _, err := t.f.ReadAt(raw, fi.metaOff); err != nil {
+				continue
+			}
+		}
+		footOK = crc32.Checksum(raw, castagnoli) == fi.metaCRC
+	}
+	if !footOK {
+		return st, corrupt.New(corrupt.LayerTableFooter, t.name, size-tailLen, ErrCorrupt,
+			"no footer slot with intact metadata")
+	}
+
+	seqs := t.snapshotSeqs()
+	for i := range seqs {
+		s := &seqs[i]
+		st.Seqs++
+		if s.Entries == 0 {
+			continue
+		}
+		idx, err := block.NewReader(s.RawIndex, kv.CompareInternal)
+		if err != nil {
+			return st, t.metaCorrupt(err, fmt.Sprintf("seq %d index malformed", i))
+		}
+		var count uint64
+		var prev []byte
+		ii := idx.Iter()
+		for ii.First(); ii.Valid(); ii.Next() {
+			off, n := binary.Uvarint(ii.Value())
+			if n <= 0 {
+				return st, t.metaCorrupt(ErrCorrupt, fmt.Sprintf("seq %d index handle malformed", i))
+			}
+			length, n2 := binary.Uvarint(ii.Value()[n:])
+			if n2 <= 0 {
+				return st, t.metaCorrupt(ErrCorrupt, fmt.Sprintf("seq %d index handle malformed", i))
+			}
+			buf := make([]byte, length)
+			if _, err := t.f.ReadAt(buf, int64(off)); err != nil {
+				return st, t.blockCorrupt(off, ErrCorrupt, fmt.Sprintf("block unreadable: %v", err))
+			}
+			payload, err := verifyBlockAt(buf, t.name, off)
+			if err != nil {
+				return st, err
+			}
+			br, err := block.NewReader(payload, kv.CompareInternal)
+			if err != nil {
+				return st, t.blockCorrupt(off, err, "block structure invalid despite valid checksum")
+			}
+			bi := br.Iter()
+			for bi.First(); bi.Valid(); bi.Next() {
+				k := bi.Key()
+				if len(prev) > 0 && kv.CompareInternal(prev, k) >= 0 {
+					return st, t.blockCorrupt(off, ErrCorrupt, "records out of order")
+				}
+				prev = append(prev[:0], k...)
+				user, _, _, keyOK := kv.ParseInternalKey(k)
+				if !keyOK {
+					return st, t.blockCorrupt(off, ErrCorrupt, "record key malformed")
+				}
+				if kv.CompareInternal(k, s.Smallest) < 0 || kv.CompareInternal(k, s.Largest) > 0 {
+					return st, t.blockCorrupt(off, ErrCorrupt, "record outside sequence bounds")
+				}
+				if !s.Bloom.MayContain(user) {
+					return st, t.metaCorrupt(ErrCorrupt,
+						fmt.Sprintf("seq %d bloom filter misses a present key", i))
+				}
+				count++
+			}
+			if err := bi.Err(); err != nil {
+				return st, t.blockCorrupt(off, err, "block iterator corruption")
+			}
+			st.Blocks++
+			st.Bytes += int64(length)
+			if onBlock != nil {
+				onBlock(int64(length))
+			}
+		}
+		if err := ii.Err(); err != nil {
+			return st, t.metaCorrupt(err, fmt.Sprintf("seq %d index iterator corruption", i))
+		}
+		if count != s.Entries {
+			return st, t.metaCorrupt(ErrCorrupt,
+				fmt.Sprintf("seq %d holds %d records, metadata claims %d", i, count, s.Entries))
+		}
+		st.Entries += count
+	}
+	return st, nil
+}
 
 // seqWriter streams one sorted sequence into the data region.
 type seqWriter struct {
@@ -708,20 +905,20 @@ func (t *Table) Get(ukey []byte, snap kv.Seq) (val []byte, kind kv.Kind, seq kv.
 func (t *Table) getInSeq(s *SeqMeta, ukey, target []byte) ([]byte, kv.Kind, kv.Seq, bool, error) {
 	idx, err := block.NewReader(s.RawIndex, kv.CompareInternal)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, 0, 0, false, t.metaCorrupt(err, "index block malformed")
 	}
 	ii := idx.Iter()
 	ii.Seek(target)
 	if !ii.Valid() {
-		return nil, 0, 0, false, ii.Err()
+		return nil, 0, 0, false, t.wrapIterErr(ii.Err())
 	}
 	off, n := binary.Uvarint(ii.Value())
 	if n <= 0 {
-		return nil, 0, 0, false, ErrCorrupt
+		return nil, 0, 0, false, t.metaCorrupt(ErrCorrupt, "index handle malformed")
 	}
 	length, n2 := binary.Uvarint(ii.Value()[n:])
 	if n2 <= 0 {
-		return nil, 0, 0, false, ErrCorrupt
+		return nil, 0, 0, false, t.metaCorrupt(ErrCorrupt, "index handle malformed")
 	}
 	data, err := t.readBlock(off, length)
 	if err != nil {
@@ -729,21 +926,46 @@ func (t *Table) getInSeq(s *SeqMeta, ukey, target []byte) ([]byte, kv.Kind, kv.S
 	}
 	br, err := block.NewReader(data, kv.CompareInternal)
 	if err != nil {
-		return nil, 0, 0, false, err
+		return nil, 0, 0, false, t.blockCorrupt(off, err, "block structure invalid despite valid checksum")
 	}
 	bi := br.Iter()
 	bi.Seek(target)
 	if !bi.Valid() {
-		return nil, 0, 0, false, bi.Err()
+		return nil, 0, 0, false, t.wrapIterErr(bi.Err())
 	}
 	gotUser, gotSeq, gotKind, ok := kv.ParseInternalKey(bi.Key())
 	if !ok {
-		return nil, 0, 0, false, ErrCorrupt
+		return nil, 0, 0, false, t.blockCorrupt(off, ErrCorrupt, "record key malformed")
 	}
 	if !sameBytes(gotUser, ukey) {
 		return nil, 0, 0, false, nil
 	}
 	return bi.Value(), gotKind, gotSeq, true, nil
+}
+
+// metaCorrupt attributes a metadata/index-structure failure to this
+// table's file; the detecting layer's sentinel rides along as cause.
+func (t *Table) metaCorrupt(cause error, detail string) *corrupt.Error {
+	return corrupt.New(corrupt.LayerTableMeta, t.name, -1, errors.Join(ErrCorrupt, cause), detail)
+}
+
+// blockCorrupt attributes a data-block failure at off to this table.
+func (t *Table) blockCorrupt(off uint64, cause error, detail string) *corrupt.Error {
+	return corrupt.New(corrupt.LayerTableBlock, t.name, int64(off), errors.Join(ErrCorrupt, cause), detail)
+}
+
+// wrapIterErr attributes block-iterator corruption to this table's
+// file; nil and non-corruption errors pass through unchanged.
+func (t *Table) wrapIterErr(err error) error {
+	if err == nil || !errors.Is(err, block.ErrCorrupt) {
+		return err
+	}
+	var ce *corrupt.Error
+	if errors.As(err, &ce) {
+		return err // already attributed
+	}
+	return corrupt.New(corrupt.LayerTableBlock, t.name, -1, errors.Join(ErrCorrupt, err),
+		"block iterator corruption")
 }
 
 // SeqIter returns an iterator over sequence i (oldest = 0).
@@ -758,7 +980,7 @@ func (t *Table) seqIterOf(seqs []SeqMeta, i int) iterator.Iterator {
 	}
 	idx, err := block.NewReader(s.RawIndex, kv.CompareInternal)
 	if err != nil {
-		return &errIter{err}
+		return &errIter{t.metaCorrupt(err, "index block malformed")}
 	}
 	return &seqIter{t: t, bounds: *s, idx: idx.Iter()}
 }
@@ -827,9 +1049,9 @@ func (s *seqIter) fetchBlock(off, length uint64) ([]byte, error) {
 	}
 	o, l := int64(off), int64(length)
 	if s.ra != nil && o >= s.raStart && o+l <= s.raStart+int64(len(s.ra)) {
-		payload, err := verifyBlock(s.ra[o-s.raStart : o-s.raStart+l])
+		payload, err := verifyBlockAt(s.ra[o-s.raStart:o-s.raStart+l], t.name, off)
 		if err != nil {
-			return nil, fmt.Errorf("%w in %s @%d", err, t.name, off)
+			return nil, err
 		}
 		if t.cache != nil {
 			t.cache.Set(t.id, off, append([]byte(nil), payload...))
@@ -849,15 +1071,19 @@ func (s *seqIter) fetchBlock(off, length uint64) ([]byte, error) {
 	}
 	buf := make([]byte, chunk)
 	if _, err := t.f.ReadAt(buf, o); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, corrupt.New(corrupt.LayerTableBlock, t.name, o, ErrCorrupt,
+				"block extends past end of file")
+		}
 		return nil, err
 	}
 	s.everRead = true
 	s.fetchEnd = o + chunk
 	s.ra = buf
 	s.raStart = o
-	payload, err := verifyBlock(buf[:l])
+	payload, err := verifyBlockAt(buf[:l], t.name, off)
 	if err != nil {
-		return nil, fmt.Errorf("%w in %s @%d", err, t.name, off)
+		return nil, err
 	}
 	if t.cache != nil {
 		t.cache.Set(t.id, off, append([]byte(nil), payload...))
@@ -873,12 +1099,12 @@ func (s *seqIter) loadBlock() bool {
 	v := s.idx.Value()
 	off, n := binary.Uvarint(v)
 	if n <= 0 {
-		s.err = ErrCorrupt
+		s.err = s.t.metaCorrupt(ErrCorrupt, "index handle malformed")
 		return false
 	}
 	length, n2 := binary.Uvarint(v[n:])
 	if n2 <= 0 {
-		s.err = ErrCorrupt
+		s.err = s.t.metaCorrupt(ErrCorrupt, "index handle malformed")
 		return false
 	}
 	data, err := s.fetchBlock(off, length)
@@ -888,7 +1114,7 @@ func (s *seqIter) loadBlock() bool {
 	}
 	br, err := block.NewReader(data, kv.CompareInternal)
 	if err != nil {
-		s.err = err
+		s.err = s.t.blockCorrupt(off, err, "block structure invalid despite valid checksum")
 		return false
 	}
 	s.cur = br.Iter()
@@ -962,7 +1188,7 @@ func (s *seqIter) Value() []byte {
 }
 
 // Err implements Iterator.
-func (s *seqIter) Err() error { return s.err }
+func (s *seqIter) Err() error { return s.t.wrapIterErr(s.err) }
 
 // Close implements Iterator.
 func (s *seqIter) Close() error { return nil }

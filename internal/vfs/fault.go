@@ -9,6 +9,10 @@ import (
 // ErrInjected is the error FaultFS raises when a scheduled fault fires.
 var ErrInjected = errors.New("vfs: injected fault")
 
+// ErrNoSpace is the error FaultFS raises once its disk-full budget is
+// exhausted, standing in for the operating system's ENOSPC.
+var ErrNoSpace = errors.New("vfs: no space left on device")
+
 // FaultFS wraps an FS and fails operations on demand, for exercising
 // the engines' error paths: write failures during compaction, torn
 // syncs, failed opens.  Faults are armed by operation kind with a
@@ -24,6 +28,12 @@ type FaultFS struct {
 	arm    map[FaultOp][]*fault
 	hits   map[FaultOp]int
 	sticky bool
+
+	// Disk-full simulation: when armed, writes draw from a byte budget
+	// and fail with ErrNoSpace once it runs dry, until FreeSpace.
+	nospace       bool
+	nospaceBudget int64
+	nospaceHits   int
 }
 
 // FaultOp selects which operation class a fault applies to.
@@ -37,6 +47,7 @@ const (
 	FaultCreate
 	FaultRemove
 	FaultClose
+	FaultRename
 )
 
 type fault struct {
@@ -76,6 +87,53 @@ func (f *FaultFS) FailShortWrite(substr string, after, n int) {
 	f.mu.Unlock()
 }
 
+// FailWithNoSpace simulates a filling disk: the next budget bytes of
+// writes succeed, after which every write and create fails with
+// ErrNoSpace until FreeSpace (or Clear).  A write straddling the budget
+// boundary lands its allowed prefix in the inner file and reports a
+// short write with ErrNoSpace, like a real device running dry
+// mid-write.  budget 0 fails the very next write.
+func (f *FaultFS) FailWithNoSpace(budget int64) {
+	f.mu.Lock()
+	f.nospace = true
+	f.nospaceBudget = budget
+	f.mu.Unlock()
+}
+
+// FreeSpace clears the disk-full condition: writes succeed again, as if
+// space had been reclaimed.
+func (f *FaultFS) FreeSpace() {
+	f.mu.Lock()
+	f.nospace = false
+	f.mu.Unlock()
+}
+
+// NoSpaceHits reports how many operations have failed with ErrNoSpace.
+func (f *FaultFS) NoSpaceHits() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nospaceHits
+}
+
+// chargeWrite draws n bytes from the disk-full budget.  It returns how
+// many bytes are allowed through (all of them when no fault fires) and
+// ErrNoSpace once the budget is dry.
+func (f *FaultFS) chargeWrite(n int) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.nospace {
+		return n, nil
+	}
+	if f.nospaceBudget >= int64(n) && (n > 0 || f.nospaceBudget > 0) {
+		f.nospaceBudget -= int64(n)
+		return n, nil
+	}
+	allowed := int(f.nospaceBudget)
+	f.nospaceBudget = 0
+	f.nospaceHits++
+	return allowed, ErrNoSpace
+}
+
 // SetSticky makes fired faults keep failing instead of disarming.
 func (f *FaultFS) SetSticky(on bool) {
 	f.mu.Lock()
@@ -83,10 +141,11 @@ func (f *FaultFS) SetSticky(on bool) {
 	f.mu.Unlock()
 }
 
-// Clear disarms all faults.
+// Clear disarms all faults, including a disk-full condition.
 func (f *FaultFS) Clear() {
 	f.mu.Lock()
 	f.arm = make(map[FaultOp][]*fault)
+	f.nospace = false
 	f.mu.Unlock()
 }
 
@@ -128,6 +187,9 @@ func (f *FaultFS) Create(name string) (File, error) {
 	if _, err := f.check(FaultCreate, name); err != nil {
 		return nil, err
 	}
+	if _, err := f.chargeWrite(0); err != nil {
+		return nil, err
+	}
 	file, err := f.inner.Create(name)
 	if err != nil {
 		return nil, err
@@ -152,8 +214,14 @@ func (f *FaultFS) Remove(name string) error {
 	return f.inner.Remove(name)
 }
 
-// Rename implements FS.
-func (f *FaultFS) Rename(o, n string) error { return f.inner.Rename(o, n) }
+// Rename implements FS.  A FaultRename fault matches when either the
+// old or the new name contains the fault's path substring.
+func (f *FaultFS) Rename(o, n string) error {
+	if _, err := f.check(FaultRename, o+" -> "+n); err != nil {
+		return err
+	}
+	return f.inner.Rename(o, n)
+}
 
 // List implements FS.
 func (f *FaultFS) List(dir string) ([]string, error) { return f.inner.List(dir) }
@@ -178,6 +246,14 @@ func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if allowed, err := f.fs.chargeWrite(len(p)); err != nil {
+		if allowed > 0 {
+			if n, werr := f.inner.WriteAt(p[:allowed], off); werr != nil {
+				return n, werr
+			}
+		}
+		return allowed, err
+	}
 	shortN, err := f.fs.check(FaultWrite, f.name)
 	if err != nil {
 		if shortN > 0 {
@@ -196,6 +272,14 @@ func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
+	if allowed, err := f.fs.chargeWrite(len(p)); err != nil {
+		if allowed > 0 {
+			if n, werr := f.inner.Write(p[:allowed]); werr != nil {
+				return n, werr
+			}
+		}
+		return allowed, err
+	}
 	shortN, err := f.fs.check(FaultWrite, f.name)
 	if err != nil {
 		if shortN > 0 {

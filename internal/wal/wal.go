@@ -21,6 +21,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"iamdb/internal/corrupt"
 	"iamdb/internal/vfs"
 )
 
@@ -38,9 +39,15 @@ const (
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// ErrCorrupt reports a malformed or torn log record.  Readers surface it
-// only through Recover's count of dropped bytes; Next treats a corrupt
-// tail as a clean end of log, matching LevelDB's default recovery.
+// ErrCorrupt reports a malformed or torn log record.  A default Reader
+// surfaces it only through the count of dropped bytes (Next treats any
+// corruption as a clean end of log, matching LevelDB's default
+// recovery).  A strict Reader distinguishes the two cases a crash
+// cannot: corruption at the tail with nothing after it is a torn write
+// and still ends iteration cleanly, but corruption *followed by a
+// fragment with a valid checksum* proves mid-log damage — a torn tail
+// only ever truncates — and Next returns a typed *corrupt.Error
+// instead of silently shortening the log.
 var ErrCorrupt = errors.New("wal: corrupt record")
 
 // Writer appends records to a log file.  Append is single-writer (the
@@ -137,10 +144,39 @@ type Reader struct {
 	blockLen int
 	// Dropped counts bytes skipped over corruption.
 	Dropped int64
+
+	strict  bool
+	name    string
+	pending *corrupt.Error // first corruption seen, awaiting tail/mid-log verdict
 }
 
 // NewReader reads the log in f from the start.
 func NewReader(f vfs.File) *Reader { return &Reader{f: f} }
+
+// Strict makes mid-log corruption fatal: if damage is followed by any
+// fragment with a valid checksum, Next returns a *corrupt.Error
+// attributed to name instead of skipping.  Tail corruption (a torn
+// write with nothing valid after it) still ends iteration cleanly with
+// Dropped advanced.
+func (r *Reader) Strict(name string) {
+	r.strict = true
+	r.name = name
+}
+
+// Corruption reports the damage a strict reader has seen so far, even
+// when it was tail-compatible and therefore tolerated; nil when the log
+// scanned clean.
+func (r *Reader) Corruption() *corrupt.Error { return r.pending }
+
+// note records the first corruption a strict reader encounters; the
+// verdict (tolerated tail tear vs fatal mid-log damage) is deferred
+// until the scan either ends or finds valid data beyond it.
+func (r *Reader) note(off int64, got, want uint32, detail string) {
+	if !r.strict || r.pending != nil {
+		return
+	}
+	r.pending = corrupt.New(corrupt.LayerWAL, r.name, off, ErrCorrupt, detail).WithCRC(got, want)
+}
 
 func (r *Reader) refill() error {
 	n, err := r.f.ReadAt(r.block[:], r.off)
@@ -158,7 +194,8 @@ func (r *Reader) refill() error {
 
 // Next returns the next complete record, or io.EOF at the end of the
 // log.  Corruption at the tail (torn write) ends iteration; corruption
-// followed by further valid blocks is skipped with Dropped advanced.
+// followed by further valid fragments is skipped with Dropped advanced
+// by default, or aborts with a typed error on a Strict reader.
 func (r *Reader) Next() ([]byte, error) {
 	var rec []byte
 	inFragmented := false
@@ -176,6 +213,7 @@ func (r *Reader) Next() ([]byte, error) {
 		length := int(binary.LittleEndian.Uint16(hdr[4:6]))
 		typ := hdr[6]
 		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
+		fragOff := r.off - int64(r.blockLen) + int64(r.blockOff)
 
 		if typ == 0 && length == 0 && wantCRC == 0 {
 			// Zero padding: rest of this block is empty.
@@ -184,6 +222,7 @@ func (r *Reader) Next() ([]byte, error) {
 		}
 		if r.blockOff+headerSize+length > r.blockLen || typ < typeFull || typ > typeLast {
 			// Torn or garbage fragment: drop the rest of the block.
+			r.note(fragOff, 0, 0, "torn or garbage fragment header")
 			r.Dropped += int64(r.blockLen - r.blockOff)
 			r.blockOff = r.blockLen
 			rec, inFragmented = nil, false
@@ -192,10 +231,17 @@ func (r *Reader) Next() ([]byte, error) {
 		payload := r.block[r.blockOff+headerSize : r.blockOff+headerSize+length]
 		crc := crc32.Checksum(append([]byte{typ}, payload...), castagnoli)
 		if crc != wantCRC {
+			r.note(fragOff, wantCRC, crc, "fragment checksum mismatch")
 			r.Dropped += int64(headerSize + length)
 			r.blockOff = r.blockLen
 			rec, inFragmented = nil, false
 			continue
+		}
+		if r.pending != nil {
+			// A fragment with a valid checksum beyond the damage: a torn
+			// tail only truncates, so this is mid-log corruption.  Abort
+			// loudly rather than silently shortening the replay.
+			return nil, r.pending
 		}
 		r.blockOff += headerSize + length
 
@@ -213,12 +259,16 @@ func (r *Reader) Next() ([]byte, error) {
 			inFragmented = true
 		case typeMiddle:
 			if !inFragmented {
+				// An orphan continuation implies its first fragment was
+				// destroyed in place — truncation cannot leave one.
+				r.note(fragOff, 0, 0, "orphan middle fragment")
 				r.Dropped += int64(length)
 				continue
 			}
 			rec = append(rec, payload...)
 		case typeLast:
 			if !inFragmented {
+				r.note(fragOff, 0, 0, "orphan last fragment")
 				r.Dropped += int64(length)
 				continue
 			}
@@ -228,9 +278,25 @@ func (r *Reader) Next() ([]byte, error) {
 }
 
 // ReplayAll reads every intact record, invoking fn for each.  It stops
-// cleanly at the first torn tail.
+// cleanly at the first torn tail and, like LevelDB's default recovery,
+// skips over mid-log damage; use ReplayAllStrict when silent
+// truncation is unacceptable.
 func ReplayAll(f vfs.File, fn func(rec []byte) error) (dropped int64, err error) {
+	return replay(NewReader(f), fn)
+}
+
+// ReplayAllStrict reads every intact record, invoking fn for each.  A
+// torn tail (corruption with nothing valid after it) still ends the
+// replay cleanly with dropped > 0, but mid-log corruption — damage
+// followed by a valid fragment — aborts with a *corrupt.Error
+// attributed to name.
+func ReplayAllStrict(f vfs.File, name string, fn func(rec []byte) error) (dropped int64, err error) {
 	r := NewReader(f)
+	r.Strict(name)
+	return replay(r, fn)
+}
+
+func replay(r *Reader, fn func(rec []byte) error) (dropped int64, err error) {
 	for {
 		rec, err := r.Next()
 		if err == io.EOF {

@@ -59,6 +59,17 @@ type Metrics struct {
 	StallCount int64
 	StallTime  time.Duration
 
+	// CorruptionsDetected counts typed corruption detections (read
+	// path, open-time suspicion, scrub); TablesQuarantined counts
+	// tables fenced off as a consequence.  ScrubBlocks totals data
+	// blocks verified by Scrub passes, and NoSpaceErrors counts
+	// operations failed by a full disk (see DESIGN.md "Latent-fault
+	// model").
+	CorruptionsDetected int64
+	TablesQuarantined   int64
+	ScrubBlocks         int64
+	NoSpaceErrors       int64
+
 	// CommitGroups counts leader-led group commits (one WAL record,
 	// one sync each), and CommitBatches the batches committed through
 	// them; their ratio is the mean group size.
@@ -114,26 +125,30 @@ func (db *DB) Metrics() Metrics {
 	db.mu.Unlock()
 	rate, _, _ := db.cache.HitRate()
 	return Metrics{
-		Engine:             db.eng.Stats(),
-		Levels:             db.eng.Levels(),
-		SpaceUsed:          db.eng.SpaceUsed(),
-		UserBytes:          db.userBytes.Load(),
-		CacheHitRate:       rate,
-		MemtableBytes:      memBytes,
-		ImmutableMemtables: imm,
-		WALNum:             walNum,
-		WALBytes:           walBytes,
-		WALRotations:       db.walRotations.Load(),
-		IO:                 db.io.Snapshot(),
-		StallCount:         db.stallCount.Load(),
-		StallTime:          time.Duration(db.stallNanos.Load()),
-		CommitGroups:       db.commitGroups.Load(),
-		CommitBatches:      db.commitBatches.Load(),
-		CommitWait:         time.Duration(db.commitWait.Load()),
-		GroupSize:          db.groupSize.Summary(),
-		Put:                db.putHist.Summary(),
-		Get:                db.getHist.Summary(),
-		Scan:               db.scanHist.Summary(),
+		Engine:              db.eng.Stats(),
+		Levels:              db.eng.Levels(),
+		SpaceUsed:           db.eng.SpaceUsed(),
+		UserBytes:           db.userBytes.Load(),
+		CacheHitRate:        rate,
+		MemtableBytes:       memBytes,
+		ImmutableMemtables:  imm,
+		WALNum:              walNum,
+		WALBytes:            walBytes,
+		WALRotations:        db.walRotations.Load(),
+		IO:                  db.io.Snapshot(),
+		StallCount:          db.stallCount.Load(),
+		StallTime:           time.Duration(db.stallNanos.Load()),
+		CorruptionsDetected: db.corrDetected.Load(),
+		TablesQuarantined:   db.corrQuarantined.Load(),
+		ScrubBlocks:         db.scrubBlocksC.Load(),
+		NoSpaceErrors:       db.bgNoSpace.Load(),
+		CommitGroups:        db.commitGroups.Load(),
+		CommitBatches:       db.commitBatches.Load(),
+		CommitWait:          time.Duration(db.commitWait.Load()),
+		GroupSize:           db.groupSize.Summary(),
+		Put:                 db.putHist.Summary(),
+		Get:                 db.getHist.Summary(),
+		Scan:                db.scanHist.Summary(),
 	}
 }
 
@@ -251,6 +266,12 @@ func (m Metrics) String() string {
 		mb(m.MemtableBytes), m.ImmutableMemtables, m.WALNum, mb(m.WALBytes), m.WALRotations)
 	fmt.Fprintf(&b, "Block cache hit rate: %.1f%%\n", 100*m.CacheHitRate)
 	fmt.Fprintf(&b, "Write stalls: %d, total %v\n", m.StallCount, m.StallTime)
+	// Latent-fault line only when something happened, so healthy runs
+	// keep their familiar (and golden-tested) report shape.
+	if m.CorruptionsDetected != 0 || m.TablesQuarantined != 0 || m.ScrubBlocks != 0 || m.NoSpaceErrors != 0 {
+		fmt.Fprintf(&b, "Faults: %d corruptions detected, %d tables quarantined, %d blocks scrubbed, %d no-space errors\n",
+			m.CorruptionsDetected, m.TablesQuarantined, m.ScrubBlocks, m.NoSpaceErrors)
+	}
 	fmt.Fprintf(&b, "Commit pipeline: %d groups, %d batches (mean group %.2f), queue wait %v\n",
 		m.CommitGroups, m.CommitBatches, m.MeanCommitGroupSize(), m.CommitWait)
 	fmt.Fprintf(&b, "Device IO: %.1f MB written (%d ops), %.1f MB read (%d ops), %d seeks\n",

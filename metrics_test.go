@@ -121,6 +121,27 @@ func TestEventStreamInvariants(t *testing.T) {
 					ev.manifestEdits.Load(), ev.tableCreated.Load())
 			}
 
+			// Latent-fault counters: a clean workload must report no
+			// damage, and a scrub pass must attribute its block reads.
+			if m.CorruptionsDetected != 0 || m.TablesQuarantined != 0 || m.NoSpaceErrors != 0 {
+				t.Errorf("clean workload reported faults: %d corruptions, %d quarantined, %d nospace",
+					m.CorruptionsDetected, m.TablesQuarantined, m.NoSpaceErrors)
+			}
+			if m.ScrubBlocks != 0 {
+				t.Errorf("scrub counter moved before any scrub: %d", m.ScrubBlocks)
+			}
+			rep, err := db.Scrub()
+			if err != nil {
+				t.Fatalf("scrub: %v", err)
+			}
+			if len(rep.Corruptions) != 0 {
+				t.Errorf("scrub of a clean store found %d corruptions", len(rep.Corruptions))
+			}
+			if m2 := db.Metrics(); m2.ScrubBlocks == 0 || m2.CorruptionsDetected != 0 {
+				t.Errorf("after clean scrub: %d blocks verified, %d corruptions detected",
+					m2.ScrubBlocks, m2.CorruptionsDetected)
+			}
+
 			// Attributed per-level write bytes cover all append/merge/split
 			// traffic (some paths, like child-less flushes, write without a
 			// byte-carrying event, so events bound the counters from below).

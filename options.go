@@ -36,6 +36,9 @@ type (
 	// model & crash consistency").
 	BackgroundErrorInfo = metrics.BackgroundErrorInfo
 	ReadOnlyInfo        = metrics.ReadOnlyInfo
+	// CorruptionInfo carries the CorruptionDetected callback (see
+	// DESIGN.md "Latent-fault model").
+	CorruptionInfo = metrics.CorruptionInfo
 )
 
 // Clock is the monotonic time source used for event durations and
@@ -218,6 +221,11 @@ type Options struct {
 	// failures the DB tolerates before degrading to read-only mode
 	// (writes return ErrReadOnly, reads keep working).  Default 5.
 	BgRetryLimit int
+
+	// ScrubBytesPerSec rate-limits DB.Scrub's reads so a background
+	// scrub does not monopolise the device.  0 means unpaced (scrub as
+	// fast as the FS allows).
+	ScrubBytesPerSec int64
 
 	// BgBackoff, when non-nil, is called between background retry
 	// attempts with the consecutive-failure count; returning false

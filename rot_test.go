@@ -1,0 +1,73 @@
+package iamdb_test
+
+import (
+	"os"
+	"testing"
+
+	"iamdb"
+	"iamdb/internal/harness"
+	"iamdb/internal/vfs"
+)
+
+// TestCorruptionMatrix is the latent-fault sibling of TestCrashMatrix:
+// for each engine it builds a deterministic store, then — per sampled
+// (file × offset) point — damages exactly one byte of the synced image
+// (bit-flip and zeroing variants), reopens, and checks the rot oracle:
+// open succeeds or fails with a typed corruption error naming the
+// file; no read ever returns bytes that were never acknowledged; an
+// acknowledged key goes missing only when the store flagged the
+// corruption; provably harmless damage changes nothing.
+//
+// The bounded default samples the matrix so `go test -run Corruption`
+// stays in seconds; IAMDB_ROT_FULL=1 sweeps every point of every file
+// for all four engines in both damage modes.
+func TestCorruptionMatrix(t *testing.T) {
+	full := os.Getenv("IAMDB_ROT_FULL") != ""
+	engines := []iamdb.EngineKind{iamdb.IAM, iamdb.LSA, iamdb.LevelDB, iamdb.RocksDB}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			t.Parallel()
+			n, err := harness.RotWorkload{Engine: eng}.PointCount()
+			if err != nil {
+				t.Fatalf("calibrate: %v", err)
+			}
+			if n < 100 {
+				t.Fatalf("store exposes only %d corruption points; want >= 100", n)
+			}
+			for _, md := range []struct {
+				name string
+				mode vfs.RotMode
+			}{{"Flip", vfs.RotFlip}, {"Zero", vfs.RotZero}} {
+				md := md
+				t.Run(md.name, func(t *testing.T) {
+					t.Parallel()
+					w := harness.RotWorkload{Engine: eng, Mode: md.mode}
+					slots := pickSlots(n, 52, full)
+					for _, s := range slots {
+						if err := w.Trial(s); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// pickSlots returns every point index when full, else an evenly-strided
+// sample of cap points that always includes the first and last.
+func pickSlots(n, cap int, full bool) []int {
+	if full || n <= cap {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, cap)
+	for i := 0; i < cap; i++ {
+		out = append(out, i*(n-1)/(cap-1))
+	}
+	return out
+}

@@ -94,6 +94,21 @@ echo "== crash matrix (bounded)"
 # (every op index, all engines, all corruption modes — ~20s).
 go test -run Crash -count=1 .
 
+echo "== corruption matrix (bounded)"
+# Latent-fault exploration: flip/zero single bytes at ≥100 sampled
+# (file, offset) points per engine, reopen, and check the no-wrong-
+# bytes oracle (the test itself asserts the point-count floor).
+# IAMDB_ROT_FULL=1 sweeps every point, all engines, both modes.
+go test -run Corruption -count=1 .
+
+echo "== fuzz smokes"
+# Short fuzz bursts over the byte-level decoders: arbitrary input must
+# yield typed errors or clean success, never a panic or hang.  The
+# checked-in corpora under testdata/fuzz/ replay first.
+go test -run '^$' -fuzz FuzzBlockDecode -fuzztime 5s ./internal/block/
+go test -run '^$' -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
+go test -run '^$' -fuzz FuzzTableOpen -fuzztime 5s ./internal/table/
+
 echo "== go test -race"
 # The harness simulations exceed go test's default 10-minute timeout
 # under the race detector's ~10x slowdown; give them room (the full
