@@ -25,7 +25,14 @@ import (
 // database: the destination either has no manifest at all, or a fully
 // synced one whose referenced files were already durable when it
 // appeared.
+// A sharded DB checkpoints shard by shard into shard-NNN
+// subdirectories and writes the SHARDS routing marker last, as the
+// commit point: a destination missing the marker is detected as torn
+// at open instead of being adopted as a database.
 func (db *DB) Checkpoint(dstDir string) error {
+	if ss := db.shards; ss != nil {
+		return ss.checkpoint(db, dstDir)
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()

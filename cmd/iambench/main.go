@@ -11,11 +11,11 @@
 //
 // Experiment ids: table1 table2 table3 table4 table5 figure6
 // figure7a figure7b figure7c figure8 figure9 figure10 stability
-// concurrency
+// concurrency shards
 //
-// All experiments except `concurrency` run on the deterministic
-// virtual-disk harness; `concurrency` measures the commit pipeline's
-// group commit in wall-clock time, so its numbers vary with the host.
+// All experiments except `concurrency` and `shards` run on the
+// deterministic virtual-disk harness; those two measure the commit
+// pipeline(s) in wall-clock time, so their numbers vary with the host.
 package main
 
 import (
@@ -69,6 +69,8 @@ func experiments() []experiment {
 			func(s harness.Scale) (harness.Table, error) { return s.Stability() }},
 		{"concurrency", "group-commit throughput vs writer count (wall clock)",
 			runConcurrency},
+		{"shards", "sharded front-end throughput vs shard count (wall clock)",
+			runShards},
 	}
 }
 

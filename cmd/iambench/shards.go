@@ -1,0 +1,199 @@
+package main
+
+// The shards experiment measures what the range-sharded front-end buys
+// under real write contention: N goroutines issue synchronous Puts
+// against a DB with S independent shards, and throughput is wall-clock
+// ops/sec.  Like the concurrency experiment it lives in cmd/iambench
+// because it reads the wall clock.
+//
+// The filesystem models the two costs sharding attacks: a fixed
+// per-sync device latency (what group commit amortizes within one
+// pipeline) and a write-bandwidth term proportional to the bytes each
+// sync makes durable (what a single pipeline serializes and S pipelines
+// overlap).  With 4 KiB values the bandwidth term dominates, so a
+// single commit pipeline bottlenecks on serialized sync time no matter
+// how large its groups get — multiple shards drain it in parallel.
+//
+// A skewed variant sends 90% of the keys to shard 0's range, showing
+// the flip side: range sharding only scales when load spreads across
+// the ranges.
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"iamdb"
+	"iamdb/internal/harness"
+	"iamdb/internal/vfs"
+)
+
+const (
+	// shardSyncBase is the modeled per-sync device latency.
+	shardSyncBase = 40 * time.Microsecond
+	// shardSyncBW is the modeled device write bandwidth charged per
+	// synced byte.
+	shardSyncBW = 100 << 20 // 100 MB/s
+	// shardValueSize is large enough that bandwidth, not sync count,
+	// dominates — the regime where independent pipelines pay off.
+	shardValueSize = 4096
+	// shardWriters is the contention level of the headline comparison.
+	shardWriters = 16
+)
+
+// bwLatFS wraps an FS so every Sync sleeps base latency plus the
+// modeled transfer time of the bytes written since the previous Sync on
+// that file.
+type bwLatFS struct {
+	vfs.FS
+}
+
+func (fs bwLatFS) Create(name string) (vfs.File, error) {
+	f, err := fs.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &bwLatFile{File: f}, nil
+}
+
+func (fs bwLatFS) Open(name string) (vfs.File, error) {
+	f, err := fs.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &bwLatFile{File: f}, nil
+}
+
+type bwLatFile struct {
+	vfs.File
+	mu      sync.Mutex
+	pending int64 // bytes written since the last Sync
+}
+
+func (f *bwLatFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.File.WriteAt(p, off)
+	f.mu.Lock()
+	f.pending += int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+func (f *bwLatFile) Sync() error {
+	f.mu.Lock()
+	n := f.pending
+	f.pending = 0
+	f.mu.Unlock()
+	time.Sleep(shardSyncBase + time.Duration(float64(n)/shardSyncBW*float64(time.Second)))
+	return f.File.Sync()
+}
+
+// shardKeyByte picks op i of writer w's routing byte: spread uniformly
+// over the key space, or 90% concentrated in shard 0's quarter of it.
+func shardKeyByte(w, i int, skewed bool) byte {
+	h := (i*131 + w*53) % 256
+	if skewed && (i*7+w)%10 != 0 {
+		return byte(h % 64) // shard 0 of 4 under default splits
+	}
+	return byte(h)
+}
+
+// runShards produces the sharding table: ops/sec and speedup over one
+// shard at a fixed writer count, then the skewed-key rows.
+func runShards(s harness.Scale) (harness.Table, error) {
+	ops := 4000
+	if s.Name == "small" {
+		ops = 800
+	}
+	tbl := harness.Table{
+		Title: fmt.Sprintf(
+			"Sharded commit throughput: %d writers, %d sync Puts of %d B on MemFS (sync %v + %d MB/s)",
+			shardWriters, ops, shardValueSize, shardSyncBase, shardSyncBW>>20),
+		Header: []string{"keys", "shards", "ops/sec", "speedup"},
+	}
+	var base float64
+	for _, sh := range []int{1, 2, 4, 8} {
+		opsPerSec, err := shardsRun(shardWriters, sh, ops, false)
+		if err != nil {
+			return harness.Table{}, err
+		}
+		if base == 0 {
+			base = opsPerSec
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			"uniform",
+			fmt.Sprintf("%d", sh),
+			fmt.Sprintf("%.0f", opsPerSec),
+			fmt.Sprintf("%.2fx", opsPerSec/base),
+		})
+	}
+	for _, sh := range []int{1, 4} {
+		opsPerSec, err := shardsRun(shardWriters, sh, ops, true)
+		if err != nil {
+			return harness.Table{}, err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			"skewed",
+			fmt.Sprintf("%d", sh),
+			fmt.Sprintf("%.0f", opsPerSec),
+			fmt.Sprintf("%.2fx", opsPerSec/base),
+		})
+	}
+	return tbl, nil
+}
+
+// shardsRun times writers concurrent goroutines splitting totalOps
+// synchronous Puts over a fresh DB with the given shard count.
+func shardsRun(writers, shards, totalOps int, skewed bool) (opsPerSec float64, err error) {
+	fs := bwLatFS{FS: vfs.NewMemFS()}
+	o := &iamdb.Options{Engine: iamdb.IAM, FS: fs, SyncWrites: true}
+	if shards > 1 {
+		o.Shards = shards
+	}
+	db, err := iamdb.Open("db", o)
+	if err != nil {
+		return 0, err
+	}
+	val := bytes.Repeat([]byte("v"), shardValueSize)
+	perW := totalOps / writers
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := make([]byte, 0, 32)
+			for i := 0; i < perW; i++ {
+				key = append(key[:0], shardKeyByte(w, i, skewed))
+				key = fmt.Appendf(key, "w%03d-%09d", w, i)
+				if err := db.Put(key, val); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			_ = db.Close()
+			return 0, e
+		}
+	}
+	m := db.Metrics()
+	dist := "uniform"
+	if skewed {
+		dist = "skewed"
+	}
+	harness.Report(harness.MetricsRecord{
+		Engine:  fmt.Sprintf("IAM-%dshards-%s", shards, dist),
+		Disk:    fmt.Sprintf("mem+sync%v+%dMBps", shardSyncBase, shardSyncBW>>20),
+		Metrics: m,
+	})
+	if err := db.Close(); err != nil {
+		return 0, err
+	}
+	return float64(perW*writers) / elapsed.Seconds(), nil
+}

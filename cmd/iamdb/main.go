@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	iamdb -db ./data [-engine IAM|LSA|LevelDB|RocksDB] <command> [args]
+//	iamdb -db ./data [-engine IAM|LSA|LevelDB|RocksDB] [-shards N] <command> [args]
 //
 // Commands:
 //
@@ -46,6 +46,7 @@ func main() {
 		engine = flag.String("engine", "IAM", "IAM | LSA | LevelDB | RocksDB")
 		ctKB   = flag.Int64("ct", 4096, "memtable/node capacity in KiB")
 		addr   = flag.String("addr", "127.0.0.1:6060", "debug server address (debug command)")
+		shards = flag.Int("shards", 0, "range-shard the keyspace across N independent trees (recorded at creation; reopening adopts the recorded layout)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -65,6 +66,7 @@ func main() {
 	opt := &iamdb.Options{
 		Engine:       kind,
 		MemtableSize: *ctKB * 1024,
+		Shards:       *shards,
 	}
 	if args[0] == "debug" {
 		// The debug server wants the full observability stack: a span
@@ -162,6 +164,15 @@ func main() {
 		if mm, kk := db.MixedLevel(); mm > 0 {
 			fmt.Printf("Mixed level m=%d k=%d\n", mm, kk)
 		}
+		// A sharded store also renders every shard's own report under
+		// the aggregate; single-shard output stays exactly as above.
+		if n := db.NumShards(); n > 1 {
+			for i := 0; i < n; i++ {
+				lo, hi := db.ShardRange(i)
+				fmt.Printf("\n-- shard %03d [%s, %s) --\n", i, bound(lo, "-inf"), bound(hi, "+inf"))
+				fmt.Print(db.ShardMetrics(i).String())
+			}
+		}
 	case "statsjson":
 		data, err := json.MarshalIndent(db.Metrics(), "", "  ")
 		if err != nil {
@@ -222,6 +233,14 @@ func main() {
 	default:
 		fatalf("unknown command %q", args[0])
 	}
+}
+
+// bound renders a shard range endpoint.
+func bound(b []byte, unbounded string) string {
+	if b == nil {
+		return unbounded
+	}
+	return fmt.Sprintf("%q", b)
 }
 
 func need(args []string, n int) {

@@ -79,6 +79,41 @@ func TestCrashMatrix(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixSharded runs the same oracle against a 4-shard
+// front-end: each shard has its own WAL and recovery path, and the
+// crash may land in any of them (or in the SHARDS marker write).
+func TestCrashMatrixSharded(t *testing.T) {
+	for _, eng := range []iamdb.EngineKind{iamdb.IAM, iamdb.LSA} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			w := harness.CrashWorkload{Engine: eng, Shards: 4}
+			cal, err := w.Calibrate()
+			if err != nil {
+				t.Fatalf("calibrate: %v", err)
+			}
+			if cal.OpCount < 200 || len(cal.SyncPoints) < 50 {
+				t.Fatalf("workload too small to explore: %d ops, %d sync points",
+					cal.OpCount, len(cal.SyncPoints))
+			}
+			points := pickPoints(cal, 40, 24)
+			for _, p := range points {
+				if err := w.Trial(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			t.Run("Torn", func(t *testing.T) {
+				wm := w
+				wm.Mode = vfs.CrashTorn
+				for _, p := range pickPoints(cal, 10, 6) {
+					if err := wm.Trial(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 // pickPoints selects crash points from a calibration: the sync
 // boundaries downsampled to at most syncCap, plus strided mutating-op
 // indices so crashes also land mid-write, between durability points.

@@ -124,10 +124,20 @@ type DB struct {
 	pendingQ []*commitOp
 	commitMu sync.Mutex
 	// seq is the last assigned sequence number, owned by whoever holds
-	// commitMu (and by Open before any writer exists).
+	// commitMu (and by Open before any writer exists).  In a shard
+	// child it trails the router's global sequencer: writeAt carries
+	// pre-allocated ranges and seq tracks their maximum end.
 	seq kv.Seq
-	// walBuf is the leader's scratch encoding buffer (commitMu).
-	walBuf []byte
+	// walBuf is the leader's scratch encoding buffer (commitMu), and
+	// baseBuf its per-op start-sequence scratch.
+	walBuf  []byte
+	baseBuf []kv.Seq
+
+	// shards, when non-nil, makes this DB a range-sharded router: the
+	// public API fans out to the independent child DBs it holds and
+	// the single-tree fields (eng, mem, walW, ...) stay nil.  See
+	// sharded.go.
+	shards *shardSet
 
 	// Lock-free read snapshot: readers load seqA and then state, with
 	// no mutex.  seqA is the last *published* sequence — stored only
@@ -232,20 +242,43 @@ func (db *DB) publishStateLocked() {
 // commitOp is one writer's seat in the commit queue.  done and err are
 // written by the leader while it holds commitMu and read by the owner
 // only after it acquires commitMu itself, so the mutex orders them.
+// base, when nonzero, is the first sequence number of a range the
+// sharded router pre-allocated for this batch; zero lets the leader
+// assign the next local sequence range.
 type commitOp struct {
 	b    *Batch
+	base kv.Seq
 	err  error
 	done bool
 }
 
 // Open opens (creating as needed) a database in dir.  A nil opt uses
-// defaults (IAM engine, OS filesystem).
+// defaults (IAM engine, OS filesystem).  With Options.Shards > 1 — or
+// when dir carries a SHARDS marker from an earlier sharded open — the
+// returned DB is a range-sharded router over independent per-shard
+// stores (see sharded.go).
 func Open(dir string, opt *Options) (*DB, error) {
 	var o Options
 	if opt != nil {
 		o = *opt
 	}
 	o = o.withDefaults()
+	// The shard-000 probe catches a sharded directory whose SHARDS
+	// marker is gone (torn checkpoint, lost file): openSharded turns it
+	// into a typed corruption error instead of silently opening an
+	// empty single-tree store next to the shard data.
+	if o.Shards > 1 || o.FS.Exists(dir+"/"+shardsFileName) ||
+		o.FS.Exists(shardDirName(dir, 0)+"/MANIFEST") {
+		return openSharded(dir, o)
+	}
+	return openSingle(dir, o)
+}
+
+// openSingle opens one classic single-tree store — standalone, or one
+// shard of a sharded DB (o then carries the shared StatsFS, Clock,
+// EventListener and TraceRecorder so observability stays coherent).
+// o must already have defaults applied.
+func openSingle(dir string, o Options) (*DB, error) {
 	// Every DB measures device IO.  Reuse the caller's StatsFS counters
 	// when one is supplied (the bench harness does) so traffic is not
 	// double-counted; otherwise wrap the filesystem ourselves.
@@ -485,18 +518,35 @@ func (db *DB) Delete(key []byte) error {
 }
 
 // Write applies a batch atomically: one WAL record, consecutive
-// sequence numbers, all-or-nothing visibility.
+// sequence numbers, all-or-nothing visibility.  On a sharded DB the
+// batch is split by key range and committed under one global sequence
+// allocation, so readers still never observe part of it.
 func (db *DB) Write(b *Batch) error {
 	if b.Len() == 0 {
 		return nil
 	}
 	if !db.timing {
-		return db.write(b)
+		return db.writeTop(b)
 	}
 	start := db.clock.Now()
-	err := db.write(b)
+	err := db.writeTop(b)
 	db.putHist.Record(db.clock.Now() - start)
 	return err
+}
+
+// writeTop routes a batch to the sharded router or the local pipeline.
+func (db *DB) writeTop(b *Batch) error {
+	if db.shards != nil {
+		return db.shards.write(b)
+	}
+	return db.write(b, 0)
+}
+
+// writeAt is the shard child's commit entry point: the batch joins the
+// child's group-commit queue carrying the router-allocated sequence
+// range starting at base.
+func (db *DB) writeAt(b *Batch, base kv.Seq) error {
+	return db.write(b, base)
 }
 
 // write is Write's body; the wrapper measures commit latency (stall
@@ -508,11 +558,11 @@ func (db *DB) Write(b *Batch) error {
 // already resolved — or, if it got the lock before any leader served
 // it, becomes the leader itself.  Every op is therefore resolved by
 // exactly one leader, with no lost wakeups and no condition variable.
-func (db *DB) write(b *Batch) error {
+func (db *DB) write(b *Batch, base kv.Seq) error {
 	db.throttle()
 
 	esp := db.tr.Begin("commit.enqueue")
-	op := &commitOp{b: b}
+	op := &commitOp{b: b, base: base}
 	db.qmu.Lock()
 	db.pendingQ = append(db.pendingQ, op)
 	db.qmu.Unlock()
@@ -587,14 +637,27 @@ func (db *DB) commitGroup(group []*commitOp) {
 	sp.SetCount(int64(len(group)))
 
 	// One record of concatenated batch encodings; recovery decodes
-	// them back-to-back (decodeRecordInto).
+	// them back-to-back (decodeRecordInto).  Router-assigned ops carry
+	// their own (globally allocated, per-shard contiguous) start
+	// sequence; local ops take the next local range.  seq advances to
+	// the maximum end either way, so a shard's sequence counter always
+	// bounds everything in its WAL.
 	buf := db.walBuf[:0]
+	bases := db.baseBuf[:0]
 	seq := db.seq
 	for _, op := range group {
-		buf = op.b.appendEncoded(buf, seq+1)
-		seq += kv.Seq(op.b.Len())
+		start := op.base
+		if start == 0 {
+			start = seq + 1
+		}
+		bases = append(bases, start)
+		buf = op.b.appendEncoded(buf, start)
+		if end := start + kv.Seq(op.b.Len()) - 1; end > seq {
+			seq = end
+		}
 	}
 	db.walBuf = buf
+	db.baseBuf = bases
 	wsp := sp.Child("commit.wal")
 	wsp.SetBytes(int64(len(buf)))
 	if err := walW.Append(buf); err != nil {
@@ -612,23 +675,27 @@ func (db *DB) commitGroup(group []*commitOp) {
 	}
 
 	asp := sp.Child("commit.apply")
-	s := db.seq
-	seq0 := s
-	var user int64
-	for _, op := range group {
+	var user, applied int64
+	for gi, op := range group {
+		s := bases[gi] - 1
 		for _, bop := range op.b.ops {
 			s++
 			mem.Add(s, bop.kind, bop.key, bop.val)
 			user += int64(len(bop.key) + len(bop.val))
 		}
+		applied += int64(op.b.Len())
 	}
-	db.seq = s
+	db.seq = seq
 	db.userBytes.Add(user)
-	db.putOps.Add(int64(s - seq0))
-	// Publish: every record at or below s is inserted, so readers may
-	// now see the whole group.
-	db.seqA.Store(uint64(s))
-	asp.SetCount(int64(s - seq0))
+	db.putOps.Add(applied)
+	// Publish: every record at or below seq committed by THIS pipeline
+	// is inserted, so local readers may now see the whole group.  seq
+	// never decreases (it starts at the previous db.seq), so the store
+	// is monotone.  (A sharded router ignores per-child seqA and gates
+	// visibility on the global sequencer's watermark instead, which
+	// only advances once the whole allocation prefix has committed.)
+	db.seqA.Store(uint64(seq))
+	asp.SetCount(applied)
 	asp.End()
 
 	db.commitGroups.Inc()
@@ -1042,6 +1109,9 @@ func (db *DB) compactWorker() {
 // DB also heals itself when a background retry succeeds; Resume just
 // forces the attempt now.
 func (db *DB) Resume() error {
+	if ss := db.shards; ss != nil {
+		return ss.fanout(func(kid *DB) error { return kid.Resume() })
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -1069,6 +1139,9 @@ func (db *DB) Resume() error {
 // invariants (crash-recovery tests use it as an oracle); engines
 // without a checker report nil.
 func (db *DB) CheckInvariants() error {
+	if ss := db.shards; ss != nil {
+		return ss.fanout(func(kid *DB) error { return kid.CheckInvariants() })
+	}
 	if c, ok := db.eng.(engine.Checker); ok {
 		return c.CheckInvariants()
 	}
@@ -1132,6 +1205,9 @@ func (db *DB) getRaw(key []byte) ([]byte, kv.Kind, error) {
 		return nil, 0, ErrClosed
 	}
 	db.getOps.Add(1)
+	if ss := db.shards; ss != nil {
+		return ss.get(key)
+	}
 	snap := kv.Seq(db.seqA.Load())
 	st := db.state.Load()
 	return db.getRawAt(key, snap, st.mem, st.imm)
@@ -1167,6 +1243,9 @@ func finishGet(v []byte, kind kv.Kind) ([]byte, error) {
 // Close flushes nothing (recovery replays the WAL), stops background
 // work and releases resources.
 func (db *DB) Close() error {
+	if db.shards != nil {
+		return db.closeSharded()
+	}
 	db.mu.Lock()
 	if db.closed {
 		db.mu.Unlock()
@@ -1194,6 +1273,9 @@ func (db *DB) Close() error {
 // compaction — the paper's "tuning phase" run to completion.  Used by
 // experiments before measuring stable performance.
 func (db *DB) CompactAll() error {
+	if ss := db.shards; ss != nil {
+		return ss.fanout(func(kid *DB) error { return kid.CompactAll() })
+	}
 	if err := db.Flush(); err != nil {
 		return err
 	}
@@ -1204,7 +1286,13 @@ func (db *DB) CompactAll() error {
 }
 
 // MixedLevel reports IAM's current (m, k) tuning; zero for baselines.
+// Shards tune independently; a sharded DB reports shard 0 (use
+// ShardMetrics-style per-shard access via the debug endpoints for the
+// rest).
 func (db *DB) MixedLevel() (m, k int) {
+	if ss := db.shards; ss != nil {
+		return ss.kids[0].MixedLevel()
+	}
 	if tr, ok := db.eng.(*core.Tree); ok {
 		return tr.MixedLevel()
 	}
@@ -1215,6 +1303,9 @@ func (db *DB) MixedLevel() (m, k int) {
 // flush to finish.  Reads are unaffected; use it before measuring
 // on-disk state or creating external copies.
 func (db *DB) Flush() error {
+	if ss := db.shards; ss != nil {
+		return ss.fanout(func(kid *DB) error { return kid.Flush() })
+	}
 	db.commitMu.Lock()
 	defer db.commitMu.Unlock()
 	if db.opt.InlineBackground {
@@ -1280,6 +1371,13 @@ func (db *DB) Flush() error {
 // estimate counts whole nodes inside the range and half of each node
 // straddling a boundary.
 func (db *DB) ApproximateSize(start, limit []byte) int64 {
+	if ss := db.shards; ss != nil {
+		var total int64
+		for _, kid := range ss.kids {
+			total += kid.ApproximateSize(start, limit)
+		}
+		return total
+	}
 	if rs, ok := db.eng.(engine.RangeSizer); ok {
 		return rs.ApproximateSize(start, limit)
 	}

@@ -45,6 +45,10 @@ type CrashWorkload struct {
 	Seed int64
 	// Ops is the scripted operation count (default 400).
 	Ops int
+	// Shards > 1 runs the trial against a range-sharded front-end,
+	// splitting the keyspace evenly so every shard's WAL and recovery
+	// path is exercised.
+	Shards int
 }
 
 func (w CrashWorkload) withDefaults() CrashWorkload {
@@ -73,8 +77,8 @@ type CrashCalibration struct {
 // exercise WAL rotation, flushes, compaction cascades, splits and
 // merges.  The backoff abandons after a handful of attempts: after a
 // crash every retry fails, and the workers must park rather than spin.
-func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind) (*iamdb.DB, error) {
-	return iamdb.Open("db", &iamdb.Options{
+func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind, shards int) (*iamdb.DB, error) {
+	o := &iamdb.Options{
 		Engine:       eng,
 		FS:           cfs,
 		MemtableSize: 2 * 1024, CacheSize: 64 * 1024,
@@ -84,7 +88,23 @@ func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind) (*iamdb.DB, error) {
 		SyncWrites:       true,
 		BgRetryLimit:     2,
 		BgBackoff:        func(failures int) bool { return failures < 6 },
-	})
+	}
+	if shards > 1 {
+		o.Shards = shards
+		o.ShardSplits = evenKeySplits(shards, crashKeyspace)
+	}
+	return iamdb.Open("db", o)
+}
+
+// evenKeySplits slices the scripted "keyNNNN" keyspace into shards
+// even ranges (e.g. 4 shards over 400 keys split at key0100, key0200,
+// key0300).
+func evenKeySplits(shards, keyspace int) [][]byte {
+	splits := make([][]byte, 0, shards-1)
+	for j := 1; j < shards; j++ {
+		splits = append(splits, []byte(fmt.Sprintf("key%04d", keyspace*j/shards)))
+	}
+	return splits
 }
 
 // oracle is the acknowledged-state model the verifier compares the
@@ -156,7 +176,7 @@ func (w CrashWorkload) run(db *iamdb.DB, o *oracle, cfs *vfs.CrashFS) error {
 func (w CrashWorkload) Calibrate() (CrashCalibration, error) {
 	w = w.withDefaults()
 	cfs := vfs.NewCrashFS(vfs.NewMemFS(), w.Mode)
-	db, err := openCrashDB(cfs, w.Engine)
+	db, err := openCrashDB(cfs, w.Engine, w.Shards)
 	if err != nil {
 		return CrashCalibration{}, err
 	}
@@ -180,7 +200,7 @@ func (w CrashWorkload) Trial(crashAt int64) error {
 	cfs := vfs.NewCrashFS(vfs.NewMemFS(), w.Mode)
 	cfs.CrashAt(crashAt)
 	o := newOracle()
-	db, err := openCrashDB(cfs, w.Engine)
+	db, err := openCrashDB(cfs, w.Engine, w.Shards)
 	if err != nil {
 		if !cfs.Crashed() {
 			return fmt.Errorf("open: %w", err)
@@ -198,7 +218,7 @@ func (w CrashWorkload) Trial(crashAt int64) error {
 		_ = db.Close()
 	}
 	cfs.Recover()
-	db2, err := openCrashDB(cfs, w.Engine)
+	db2, err := openCrashDB(cfs, w.Engine, w.Shards)
 	if err != nil {
 		return fmt.Errorf("crashAt=%d: reopen: %w", crashAt, err)
 	}

@@ -48,6 +48,9 @@ type RotWorkload struct {
 	Seed int64
 	// Ops is the scripted operation count (default 500).
 	Ops int
+	// Shards > 1 builds and damages a range-sharded store, splitting
+	// the keyspace evenly so every shard's files enter the matrix.
+	Shards int
 }
 
 func (w RotWorkload) withDefaults() RotWorkload {
@@ -97,8 +100,8 @@ func (o *rotOracle) del(k string) {
 // InlineBackground makes the build single-threaded and therefore the
 // on-disk landscape deterministic, so every trial of a workload sees
 // the same files at the same sizes.
-func openRotDB(fs vfs.FS, eng iamdb.EngineKind) (*iamdb.DB, error) {
-	return iamdb.Open("db", &iamdb.Options{
+func openRotDB(fs vfs.FS, eng iamdb.EngineKind, shards int) (*iamdb.DB, error) {
+	o := &iamdb.Options{
 		Engine:       eng,
 		FS:           fs,
 		MemtableSize: 2 * 1024, CacheSize: 64 * 1024,
@@ -109,14 +112,19 @@ func openRotDB(fs vfs.FS, eng iamdb.EngineKind) (*iamdb.DB, error) {
 		InlineBackground: true,
 		BgRetryLimit:     2,
 		BgBackoff:        func(failures int) bool { return failures < 3 },
-	})
+	}
+	if shards > 1 {
+		o.Shards = shards
+		o.ShardSplits = evenKeySplits(shards, rotKeyspace)
+	}
+	return iamdb.Open("db", o)
 }
 
 // build writes the scripted workload and closes the store cleanly,
 // flushing first so the acknowledged state is all in the engine — a
 // rotted WAL tail must then never cost an acknowledged key.
 func (w RotWorkload) build(fs vfs.FS) (*rotOracle, error) {
-	db, err := openRotDB(fs, w.Engine)
+	db, err := openRotDB(fs, w.Engine, w.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("build open: %w", err)
 	}
@@ -170,7 +178,26 @@ type RotPoint struct {
 // rotPoints enumerates the matrix points of a built store: for every
 // durable file, its head bytes, interior fractions, and a dense tail
 // region (footer slots, WAL block tails, the manifest's last records).
-func rotPoints(fs vfs.FS, dir string) ([]RotPoint, error) {
+// MemFS.List is non-recursive, so a sharded store's shard-NNN
+// subdirectories are enumerated explicitly alongside the root (which
+// still contributes the SHARDS routing marker).
+func rotPoints(fs vfs.FS, dir string, shards int) ([]RotPoint, error) {
+	dirs := []string{dir}
+	for i := 0; i < shards; i++ {
+		dirs = append(dirs, fmt.Sprintf("%s/shard-%03d", dir, i))
+	}
+	var pts []RotPoint
+	for _, d := range dirs {
+		sub, err := rotPointsIn(fs, d)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, sub...)
+	}
+	return pts, nil
+}
+
+func rotPointsIn(fs vfs.FS, dir string) ([]RotPoint, error) {
 	names, err := fs.List(dir)
 	if err != nil {
 		return nil, err
@@ -223,7 +250,7 @@ func (w RotWorkload) PointCount() (int, error) {
 	if _, err := w.build(fs); err != nil {
 		return 0, err
 	}
-	pts, err := rotPoints(fs, "db")
+	pts, err := rotPoints(fs, "db", w.Shards)
 	if err != nil {
 		return 0, err
 	}
@@ -240,7 +267,7 @@ func (w RotWorkload) Trial(slot int) error {
 	if err != nil {
 		return err
 	}
-	pts, err := rotPoints(fs, "db")
+	pts, err := rotPoints(fs, "db", w.Shards)
 	if err != nil {
 		return err
 	}
@@ -253,7 +280,7 @@ func (w RotWorkload) Trial(slot int) error {
 		return fmt.Errorf("corrupt %s@%d: %w", p.Path, p.Off, err)
 	}
 
-	db, err := openRotDB(fs, w.Engine)
+	db, err := openRotDB(fs, w.Engine, w.Shards)
 	if err != nil {
 		ce := iamdb.AsCorruption(err)
 		if ce == nil {

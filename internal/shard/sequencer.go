@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"iamdb/internal/kv"
+)
+
+// Sequencer allocates global sequence ranges to cross-shard commits
+// and tracks the visible watermark: the end of the longest prefix of
+// allocations whose commits have fully completed.  Readers take the
+// watermark as their snapshot, so a batch spanning shards becomes
+// visible atomically — every record of a ticket at or below the
+// watermark has been applied to its shard's memtable, and no record of
+// any incomplete ticket is at or below it (ranges are contiguous and
+// allocated in order).
+//
+// A ticket MUST be ended even when its commit failed: a leaked ticket
+// stalls the watermark forever.  A failed commit's sequence range then
+// reads as burned — the same gap semantics the single-tree commit path
+// already has for failed WAL appends.
+type Sequencer struct {
+	// visibleA is the watermark, readable without the mutex.
+	visibleA atomic.Uint64
+
+	// mu orders allocation and completion.  It is a leaf: nothing else
+	// is ever acquired while it is held.
+	//
+	//iamlint:lockorder Sequencer.mu leaf
+	mu      sync.Mutex
+	cond    *sync.Cond
+	last    kv.Seq    // last allocated sequence number
+	pending []*Ticket // outstanding allocations, FIFO
+}
+
+// Ticket is one contiguous sequence-range allocation [Base, End].
+type Ticket struct {
+	Base, End kv.Seq
+	done      bool
+}
+
+// NewSequencer starts allocation after start (the recovered maximum
+// sequence across all shards); the watermark begins there too.
+func NewSequencer(start kv.Seq) *Sequencer {
+	s := &Sequencer{last: start}
+	s.cond = sync.NewCond(&s.mu)
+	s.visibleA.Store(uint64(start))
+	return s
+}
+
+// Begin allocates the next n sequence numbers as one ticket.
+func (s *Sequencer) Begin(n int) *Ticket {
+	s.mu.Lock()
+	t := &Ticket{Base: s.last + 1, End: s.last + kv.Seq(n)}
+	s.last = t.End
+	s.pending = append(s.pending, t)
+	s.mu.Unlock()
+	return t
+}
+
+// End marks the ticket's commits complete (applied or abandoned) and
+// advances the watermark past every completed prefix ticket.
+func (s *Sequencer) End(t *Ticket) {
+	s.mu.Lock()
+	t.done = true
+	advanced := false
+	for len(s.pending) > 0 && s.pending[0].done {
+		s.visibleA.Store(uint64(s.pending[0].End))
+		s.pending = s.pending[1:]
+		advanced = true
+	}
+	if advanced {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Visible returns the watermark: the largest sequence at which every
+// allocation at or below it has completed.
+func (s *Sequencer) Visible() kv.Seq {
+	return kv.Seq(s.visibleA.Load())
+}
+
+// WaitVisible blocks until the watermark reaches seq — the router's
+// read-your-writes barrier after a commit.
+func (s *Sequencer) WaitVisible(seq kv.Seq) {
+	if kv.Seq(s.visibleA.Load()) >= seq {
+		return
+	}
+	s.mu.Lock()
+	for kv.Seq(s.visibleA.Load()) < seq {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Last reports the last allocated sequence number (for bookkeeping;
+// racy with concurrent Begin by nature).
+func (s *Sequencer) Last() kv.Seq {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}

@@ -30,15 +30,20 @@ type Iterator struct {
 
 // NewIterator returns an iterator over the DB at the current sequence
 // number.  A scan merges both memtables and, per level, every sequence
-// of at most one node (Sec. 5.2).
+// of at most one node (Sec. 5.2).  On a sharded DB the sequence is the
+// global watermark and the scan concatenates the shards' disjoint
+// ranges in key order, forward and backward.
 func (db *DB) NewIterator() *Iterator {
-	return db.newIteratorAt(kv.Seq(db.seqA.Load()))
+	return db.newIteratorAt(db.visibleSeq())
 }
 
 // newIteratorAt builds the merged iterator from the lock-free read
 // snapshot — the sequence must have been loaded before the state so
 // the view covers it (see getRaw).
 func (db *DB) newIteratorAt(snap kv.Seq) *Iterator {
+	if ss := db.shards; ss != nil {
+		return &Iterator{db: db, in: ss.newInner(), snap: snap}
+	}
 	st := db.state.Load()
 	kids := []iterator.Iterator{st.mem.NewIter()}
 	if st.imm != nil {

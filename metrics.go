@@ -108,8 +108,14 @@ func (m Metrics) MeanCommitGroupSize() float64 {
 	return float64(m.CommitBatches) / float64(m.CommitGroups)
 }
 
-// Metrics returns a snapshot of the DB's statistics.
+// Metrics returns a snapshot of the DB's statistics.  A sharded DB
+// reports the aggregate across shards (device IO counted once through
+// the shared filesystem counters); ShardMetrics exposes the per-shard
+// views.
 func (db *DB) Metrics() Metrics {
+	if ss := db.shards; ss != nil {
+		return ss.metrics(db)
+	}
 	st := db.state.Load()
 	memBytes := st.mem.ApproximateSize()
 	imm := 0
@@ -157,6 +163,9 @@ func (db *DB) Metrics() Metrics {
 // traffic, cache lookups, commit pipeline counts and the put-latency
 // histogram.  It holds no DB locks beyond the engine's own stats lock.
 func (db *DB) SampleCumulative() metrics.Cumulative {
+	if ss := db.shards; ss != nil {
+		return ss.sampleCumulative(db)
+	}
 	st := db.eng.Stats()
 	w := make([]int64, len(st.PerLevel))
 	r := make([]int64, len(st.PerLevel))

@@ -174,6 +174,21 @@ type Options struct {
 	// goroutines (default 1; the paper's -4t configs use 4).
 	CompactionThreads int
 
+	// Shards, when > 1, range-partitions the keyspace across that many
+	// fully independent shards — each with its own WAL, memtable,
+	// engine instance and commit pipeline — behind this one DB (see
+	// DESIGN.md "Sharded front-end").  The shard layout is recorded in
+	// a SHARDS marker file at the database root; reopening adopts the
+	// recorded layout, and opening with a conflicting explicit layout
+	// fails.  0 or 1 means the classic single-tree database.
+	Shards int
+
+	// ShardSplits overrides the default equal-width first-byte split
+	// points: len(ShardSplits) must be Shards-1 and the keys strictly
+	// increasing.  Shard i serves keys in [ShardSplits[i-1],
+	// ShardSplits[i]).  Nil uses shard.DefaultSplits.
+	ShardSplits [][]byte
+
 	// SyncWrites makes every write durable before returning.
 	SyncWrites bool
 

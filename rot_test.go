@@ -55,6 +55,41 @@ func TestCorruptionMatrix(t *testing.T) {
 	}
 }
 
+// TestCorruptionMatrixSharded damages a 4-shard store: the matrix now
+// spans four independent file sets plus the SHARDS routing marker, and
+// the oracle holds per shard (damage in one shard never costs another
+// shard's acknowledged keys silently).
+func TestCorruptionMatrixSharded(t *testing.T) {
+	for _, eng := range []iamdb.EngineKind{iamdb.IAM, iamdb.LevelDB} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			t.Parallel()
+			n, err := harness.RotWorkload{Engine: eng, Shards: 4}.PointCount()
+			if err != nil {
+				t.Fatalf("calibrate: %v", err)
+			}
+			if n < 100 {
+				t.Fatalf("store exposes only %d corruption points; want >= 100", n)
+			}
+			for _, md := range []struct {
+				name string
+				mode vfs.RotMode
+			}{{"Flip", vfs.RotFlip}, {"Zero", vfs.RotZero}} {
+				md := md
+				t.Run(md.name, func(t *testing.T) {
+					t.Parallel()
+					w := harness.RotWorkload{Engine: eng, Mode: md.mode, Shards: 4}
+					for _, s := range pickSlots(n, 32, false) {
+						if err := w.Trial(s); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // pickSlots returns every point index when full, else an evenly-strided
 // sample of cap points that always includes the first and last.
 func pickSlots(n, cap int, full bool) []int {

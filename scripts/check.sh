@@ -55,6 +55,29 @@ echo "== commit-pipeline bench smoke"
 go test -bench ConcurrentCommit -benchtime 1x -run '^$' -count=1 .
 go run ./cmd/iambench -experiment concurrency -scale small -json .
 
+echo "== sharded front-end gates"
+# Routing, cross-shard atomicity, iterators, recovery markers, the
+# sharded golden-determinism run, and the scaling smoke: a small
+# wall-clock run of the shards experiment whose 4-shard uniform
+# throughput must clear 1.5x the single-shard figure (the committed
+# medium-scale BENCH_shards.json shows >= 2x).
+go test -run TestSharded -count=1 .
+shardtmp=$(mktemp -d)
+go run ./cmd/iambench -experiment shards -scale small -json "$shardtmp" >/dev/null
+python3 - "$shardtmp" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+blob = json.load(open(os.path.join(d, "BENCH_shards.json")))
+assert blob["Meta"]["Schema"] >= 2, "missing run metadata"
+assert blob["Header"] == ["keys", "shards", "ops/sec", "speedup"], blob["Header"]
+rows = {(r[0], r[1]): float(r[2]) for r in blob["Rows"]}
+assert ("skewed", "4") in rows, "skewed-key variant missing"
+ratio = rows[("uniform", "4")] / rows[("uniform", "1")]
+assert ratio >= 1.5, f"4-shard speedup only {ratio:.2f}x at small scale"
+print(f"shards blob OK: 4-shard speedup {ratio:.2f}x over 1 shard")
+EOF
+rm -rf "$shardtmp"
+
 echo "== observability gates"
 # Tracing/timeline units, byte-identical golden determinism, the
 # disabled-path allocation gate, and the debug-handler endpoints.

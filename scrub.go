@@ -67,7 +67,9 @@ type ScrubProgress struct {
 	LastErr error
 }
 
-// Progress returns the current scrub progress counters.
+// Progress returns the current scrub progress counters.  A sharded DB
+// reports the router-level flag and report with coverage counters
+// summed across the shards' passes.
 func (db *DB) ScrubProgress() ScrubProgress {
 	db.scrub.mu.Lock()
 	p := ScrubProgress{
@@ -76,6 +78,14 @@ func (db *DB) ScrubProgress() ScrubProgress {
 		LastErr: db.scrub.lastErr,
 	}
 	db.scrub.mu.Unlock()
+	if ss := db.shards; ss != nil {
+		for _, kid := range ss.kids {
+			p.Tables += kid.scrub.tables.Load()
+			p.Blocks += kid.scrub.blocks.Load()
+			p.Bytes += kid.scrub.bytes.Load()
+		}
+		return p
+	}
 	p.Tables = db.scrub.tables.Load()
 	p.Blocks = db.scrub.blocks.Load()
 	p.Bytes = db.scrub.bytes.Load()
@@ -135,7 +145,14 @@ func (db *DB) Scrub() (ScrubReport, error) {
 	db.scrub.blocks.Store(0)
 	db.scrub.bytes.Store(0)
 
-	rep, err := db.scrubPass()
+	var err error
+	if ss := db.shards; ss != nil {
+		// One shard at a time: the rate limit applies per shard, and the
+		// router's running flag covers the whole pass.
+		rep, err = ss.scrub()
+	} else {
+		rep, err = db.scrubPass()
+	}
 
 	db.scrub.mu.Lock()
 	db.scrub.running = false

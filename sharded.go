@@ -1,0 +1,743 @@
+package iamdb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"iamdb/internal/corrupt"
+	"iamdb/internal/engine"
+	"iamdb/internal/histogram"
+	"iamdb/internal/iterator"
+	"iamdb/internal/kv"
+	"iamdb/internal/metrics"
+	"iamdb/internal/shard"
+	"iamdb/internal/vfs"
+)
+
+// Range-sharded front-end (Options.Shards > 1): one DB value routing
+// the public API across N fully independent child DBs, each owning a
+// disjoint key range with its own WAL, memtable, engine and commit
+// pipeline.  Writers on different shards never contend on a commit
+// lock, so the front-end multiplies group-commit throughput under sync
+// latency — the "multiple independent trees" scaling the paper's
+// single-pipeline design leaves on the table.
+//
+// Cross-shard atomicity: every router write allocates one contiguous
+// global sequence range from a shard.Sequencer and carves it into
+// per-shard contiguous sub-ranges (so each child reuses the ordinary
+// batch encoding).  Readers take the sequencer's watermark — the end of
+// the longest fully-committed allocation prefix — as their snapshot,
+// so a batch spanning shards is visible all-or-nothing even while other
+// writers commit concurrently.  See DESIGN.md "Sharded front-end".
+
+// shardsFileName is the root marker of a sharded database directory: a
+// CRC-guarded record of the shard count and split keys (see
+// shard.Partition.Encode).  Reopening adopts the recorded layout;
+// damage surfaces as a typed corruption error at Open.
+const shardsFileName = "SHARDS"
+
+// shardSet is the router state a sharded DB carries.
+type shardSet struct {
+	part shard.Partition
+	seqr *shard.Sequencer
+	kids []*DB
+}
+
+// shardDirName is shard i's subdirectory under the database root.
+func shardDirName(dir string, i int) string {
+	return fmt.Sprintf("%s/shard-%03d", dir, i)
+}
+
+// openSharded opens (creating as needed) a range-sharded database: the
+// SHARDS marker is loaded or initialised, every shard opens as an
+// ordinary single-tree DB in its own subdirectory, and the returned
+// router DB fans the public API out across them.  All shards share one
+// StatsFS (device IO counted once), one Clock, one EventListener and
+// one TraceRecorder, so aggregated observability stays coherent.
+func openSharded(dir string, o Options) (*DB, error) {
+	var io *vfs.IOStats
+	if sfs, ok := o.FS.(*vfs.StatsFS); ok {
+		io = sfs.Stats()
+	} else {
+		io = &vfs.IOStats{}
+		o.FS = vfs.NewStatsFS(o.FS, io)
+	}
+	// The caller opting into observability is what arms the router's
+	// latency histograms, exactly like the single-tree DB; the resolved
+	// clock below is an implementation detail shared with the children.
+	timing := o.EventListener != nil || o.Clock != nil
+	if o.Clock == nil {
+		o.Clock = newWallClock()
+	}
+	if err := o.FS.MkdirAll(dir); err != nil {
+		return nil, err
+	}
+
+	part, err := loadOrInitPartition(o.FS, dir, o.Shards, o.ShardSplits)
+	if err != nil {
+		return nil, err
+	}
+
+	// Children: same options, minus the router-only concerns.  The
+	// block-cache budget models total RAM, so it is divided across the
+	// shards instead of multiplied by them.
+	ko := o
+	ko.Shards, ko.ShardSplits = 0, nil
+	ko.DebugAddr = ""
+	n := part.Count()
+	ko.CacheSize = o.CacheSize / int64(n)
+	if ko.CacheSize <= 0 {
+		ko.CacheSize = 1
+	}
+	if o.MemBudget > 0 {
+		ko.MemBudget = o.MemBudget / int64(n)
+	}
+	kids := make([]*DB, n)
+	for i := range kids {
+		kid, err := openSingle(shardDirName(dir, i), ko)
+		if err != nil {
+			for _, k := range kids[:i] {
+				_ = k.Close()
+			}
+			return nil, fmt.Errorf("iamdb: open shard %d: %w", i, err)
+		}
+		kids[i] = kid
+	}
+
+	// The global sequencer resumes after the largest recovered sequence
+	// anywhere; every shard's counter is below it, so new allocations
+	// never collide with replayed records.
+	var maxSeq kv.Seq
+	for _, kid := range kids {
+		if kid.seq > maxSeq {
+			maxSeq = kid.seq
+		}
+	}
+
+	db := &DB{
+		opt: o, dir: dir, fs: o.FS,
+		events: o.EventListener.EnsureDefaults(),
+		clock:  o.Clock,
+		timing: timing,
+		reg:    metrics.NewRegistry(),
+		io:     io,
+		tr:     o.Trace,
+		quit:   make(chan struct{}),
+		shards: &shardSet{part: part, seqr: shard.NewSequencer(maxSeq), kids: kids},
+	}
+	db.putHist = db.reg.Histogram("latency.put")
+	db.getHist = db.reg.Histogram("latency.get")
+	db.scanHist = db.reg.Histogram("latency.scan")
+	if o.DebugAddr != "" {
+		if err := db.startDebugServer(o.DebugAddr); err != nil {
+			_ = db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// loadOrInitPartition resolves the shard layout: adopt the recorded
+// SHARDS marker (rejecting a conflicting explicit layout), or record
+// the requested one when the directory is fresh.  Shard data without a
+// readable marker is corruption — routing would be guesswork.
+func loadOrInitPartition(fs vfs.FS, dir string, shards int, splits [][]byte) (shard.Partition, error) {
+	path := dir + "/" + shardsFileName
+	if fs.Exists(path) {
+		data, err := readWholeFile(fs, path)
+		if err != nil {
+			return shard.Partition{}, err
+		}
+		part, err := shard.DecodePartition(data)
+		if err != nil {
+			return shard.Partition{}, corrupt.New(corrupt.LayerManifest, path, -1, err,
+				"SHARDS marker unreadable")
+		}
+		if shards > 1 {
+			want, err := shard.NewPartition(shards, splits)
+			if err != nil {
+				return shard.Partition{}, err
+			}
+			if !want.Equal(part) {
+				return shard.Partition{}, fmt.Errorf(
+					"iamdb: %s records %d shards with a different layout than the %d requested; "+
+						"reopen without explicit shard options to adopt it", path, part.Count(), shards)
+			}
+		}
+		return part, nil
+	}
+	if fs.Exists(shardDirName(dir, 0) + "/MANIFEST") {
+		// Shard directories with no marker: a checkpoint that crashed
+		// before its commit point, or a lost/deleted marker.  Refuse
+		// rather than guess a routing over existing data.
+		return shard.Partition{}, corrupt.New(corrupt.LayerManifest, path, -1,
+			shard.ErrBadShardsFile, "shard directories present but SHARDS marker missing")
+	}
+	if shards < 2 {
+		return shard.Partition{}, fmt.Errorf("iamdb: %s missing and Options.Shards is %d", path, shards)
+	}
+	part, err := shard.NewPartition(shards, splits)
+	if err != nil {
+		return shard.Partition{}, err
+	}
+	if err := writeShardsFile(fs, dir, part); err != nil {
+		return shard.Partition{}, err
+	}
+	return part, nil
+}
+
+// writeShardsFile durably records the partition: tmp + sync + rename,
+// so the marker is either absent or complete.
+func writeShardsFile(fs vfs.FS, dir string, part shard.Partition) error {
+	path := dir + "/" + shardsFileName
+	tmp := path + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	enc := part.Encode()
+	if _, err := f.WriteAt(enc, 0); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func readWholeFile(fs vfs.FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// kid routes a user key to its owning shard.
+func (ss *shardSet) kid(key []byte) *DB {
+	return ss.kids[ss.part.IndexOf(key)]
+}
+
+// write commits a batch across the shards under one global sequence
+// allocation.  Sub-batches take contiguous sub-ranges in shard order,
+// each committed through its shard's own leader/follower pipeline; the
+// allocation is always Ended (a failed sub-commit burns its range, the
+// same gap semantics a failed single-tree WAL append has), and on
+// success the writer waits for the watermark so it reads its own write.
+//
+// Failure relaxation: when a sub-commit fails partway, earlier shards'
+// sub-batches are already durable and become visible once the watermark
+// passes them — a cross-shard batch is atomic under concurrency, not
+// under mid-commit I/O failure (see DESIGN.md "Sharded front-end").
+func (ss *shardSet) write(b *Batch) error {
+	// Fast path: the whole batch lands on one shard (always true for
+	// Put/Delete), so no sub-batch assembly is needed.
+	first := ss.part.IndexOf(b.ops[0].key)
+	multi := false
+	for _, op := range b.ops[1:] {
+		if ss.part.IndexOf(op.key) != first {
+			multi = true
+			break
+		}
+	}
+	t := ss.seqr.Begin(b.Len())
+	if !multi {
+		err := ss.kids[first].writeAt(b, t.Base)
+		ss.seqr.End(t)
+		if err != nil {
+			return err
+		}
+		ss.seqr.WaitVisible(t.End)
+		return nil
+	}
+
+	subs := make([]Batch, len(ss.kids))
+	for _, op := range b.ops {
+		i := ss.part.IndexOf(op.key)
+		subs[i].ops = append(subs[i].ops, op)
+	}
+	base := t.Base
+	var firstErr error
+	for i := range subs {
+		if subs[i].Len() == 0 {
+			continue
+		}
+		// Keep committing the remaining shards after a failure: their
+		// records are independently durable and the burned range only
+		// covers what actually failed.
+		if err := ss.kids[i].writeAt(&subs[i], base); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		base += kv.Seq(subs[i].Len())
+	}
+	ss.seqr.End(t)
+	if firstErr != nil {
+		return firstErr
+	}
+	ss.seqr.WaitVisible(t.End)
+	return nil
+}
+
+// get resolves a point lookup against the owning shard at the global
+// watermark.  The watermark is loaded before the shard's state pointer,
+// so the state covers every record at or below it — the same two-load
+// protocol (and torn-batch argument) as the single-tree read path,
+// with the sequencer guaranteeing no incomplete cross-shard allocation
+// sits at or below the loaded sequence.
+func (ss *shardSet) get(key []byte) ([]byte, kv.Kind, error) {
+	snap := ss.seqr.Visible()
+	kid := ss.kid(key)
+	st := kid.state.Load()
+	return kid.getRawAt(key, snap, st.mem, st.imm)
+}
+
+// visibleSeq is the sequence a fresh read view starts from.
+func (db *DB) visibleSeq() kv.Seq {
+	if db.shards != nil {
+		return db.shards.seqr.Visible()
+	}
+	return kv.Seq(db.seqA.Load())
+}
+
+// fanout runs fn over every shard, joining the errors.
+func (ss *shardSet) fanout(fn func(*DB) error) error {
+	var errs []error
+	for _, kid := range ss.kids {
+		if err := fn(kid); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// closeSharded shuts the router down: debug server first, then every
+// shard.  Idempotence and the closed flag live on the router.
+func (db *DB) closeSharded() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.closed = true
+	db.closedA.Store(true)
+	db.mu.Unlock()
+	close(db.quit)
+	if db.debugSrv != nil {
+		_ = db.debugSrv.Close()
+	}
+	db.wg.Wait()
+	return db.shards.fanout(func(kid *DB) error { return kid.Close() })
+}
+
+// NumShards reports how many independent shards back this DB; 1 for a
+// classic single-tree database.
+func (db *DB) NumShards() int {
+	if db.shards == nil {
+		return 1
+	}
+	return len(db.shards.kids)
+}
+
+// ShardRange describes shard i's key range as [Lo, Hi); Lo is nil for
+// the first shard and Hi nil for the last.  It panics if i is out of
+// range; on an unsharded DB only shard 0 exists (unbounded both ways).
+func (db *DB) ShardRange(i int) (lo, hi []byte) {
+	if db.shards == nil {
+		if i != 0 {
+			panic("iamdb: ShardRange on unsharded DB")
+		}
+		return nil, nil
+	}
+	splits := db.shards.part.Splits()
+	if i > 0 {
+		lo = splits[i-1]
+	}
+	if i < len(splits) {
+		hi = splits[i]
+	}
+	return lo, hi
+}
+
+// ShardMetrics returns shard i's own metrics snapshot (DB.Metrics is
+// the aggregate).  On an unsharded DB, shard 0 is the DB itself.
+func (db *DB) ShardMetrics(i int) Metrics {
+	if db.shards == nil {
+		return db.Metrics()
+	}
+	return db.shards.kids[i].Metrics()
+}
+
+// metrics aggregates every shard into one DB-level snapshot: per-level
+// structure and traffic merged by level index, sizes and counters
+// summed, device IO reported once from the shared StatsFS, cache hit
+// rate recomputed from pooled lookups, commit-group-size histograms
+// merged, and the operation latency digests taken from the router's own
+// histograms (which time whole cross-shard operations).
+func (ss *shardSet) metrics(db *DB) Metrics {
+	var m Metrics
+	group := histogram.New()
+	var hits, lookups int64
+	for _, kid := range ss.kids {
+		st := kid.state.Load()
+		m.MemtableBytes += st.mem.ApproximateSize()
+		if st.imm != nil {
+			m.ImmutableMemtables++
+		}
+		kid.mu.Lock()
+		if kid.walNum > m.WALNum {
+			m.WALNum = kid.walNum
+		}
+		wb := kid.walRetired
+		if kid.walW != nil {
+			wb += kid.walW.Offset()
+		}
+		kid.mu.Unlock()
+		m.WALBytes += wb
+		m.WALRotations += kid.walRotations.Load()
+		mergeEngineStats(&m.Engine, kid.eng.Stats())
+		m.Levels = mergeLevelInfos(m.Levels, kid.eng.Levels())
+		m.SpaceUsed += kid.eng.SpaceUsed()
+		m.UserBytes += kid.userBytes.Load()
+		_, h, miss := kid.cache.HitRate()
+		hits += h
+		lookups += h + miss
+		m.StallCount += kid.stallCount.Load()
+		m.StallTime += time.Duration(kid.stallNanos.Load())
+		m.CorruptionsDetected += kid.corrDetected.Load()
+		m.TablesQuarantined += kid.corrQuarantined.Load()
+		m.ScrubBlocks += kid.scrubBlocksC.Load()
+		m.NoSpaceErrors += kid.bgNoSpace.Load()
+		m.CommitGroups += kid.commitGroups.Load()
+		m.CommitBatches += kid.commitBatches.Load()
+		m.CommitWait += time.Duration(kid.commitWait.Load())
+		group.Merge(kid.groupSize.Snapshot())
+	}
+	if lookups > 0 {
+		m.CacheHitRate = float64(hits) / float64(lookups)
+	}
+	m.IO = db.io.Snapshot()
+	m.GroupSize = group.Summary()
+	m.Put = db.putHist.Summary()
+	m.Get = db.getHist.Summary()
+	m.Scan = db.scanHist.Summary()
+	return m
+}
+
+// mergeEngineStats folds one shard's traffic snapshot into the sum.
+func mergeEngineStats(dst *engine.StatsSnapshot, src engine.StatsSnapshot) {
+	for len(dst.PerLevel) < len(src.PerLevel) {
+		dst.PerLevel = append(dst.PerLevel, engine.LevelStats{})
+	}
+	for i, ls := range src.PerLevel {
+		d := &dst.PerLevel[i]
+		d.WriteBytes += ls.WriteBytes
+		d.ReadBytes += ls.ReadBytes
+		d.Appends += ls.Appends
+		d.Merges += ls.Merges
+		d.Moves += ls.Moves
+		d.Splits += ls.Splits
+		d.Combines += ls.Combines
+	}
+	for len(dst.FlushBytes) < len(src.FlushBytes) {
+		dst.FlushBytes = append(dst.FlushBytes, 0)
+	}
+	for i, fb := range src.FlushBytes {
+		dst.FlushBytes[i] += fb
+	}
+	dst.Appends += src.Appends
+	dst.Merges += src.Merges
+	dst.Moves += src.Moves
+	dst.Splits += src.Splits
+	dst.Combines += src.Combines
+	dst.Flushes += src.Flushes
+}
+
+// mergeLevelInfos folds per-level shape by level index, keeping the
+// result sorted by level.
+func mergeLevelInfos(dst, src []engine.LevelInfo) []engine.LevelInfo {
+	for _, li := range src {
+		found := false
+		for i := range dst {
+			if dst[i].Level == li.Level {
+				dst[i].Nodes += li.Nodes
+				dst[i].Bytes += li.Bytes
+				dst[i].Seqs += li.Seqs
+				dst[i].Quarantined += li.Quarantined
+				found = true
+				break
+			}
+		}
+		if !found {
+			dst = append(dst, li)
+		}
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].Level < dst[j-1].Level; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}
+
+// sampleCumulative aggregates the monotone counters a Sampler diffs.
+func (ss *shardSet) sampleCumulative(db *DB) metrics.Cumulative {
+	var w, r []int64
+	var c metrics.Cumulative
+	c.Ops = db.getOps.Load()
+	for _, kid := range ss.kids {
+		st := kid.eng.Stats()
+		for len(w) < len(st.PerLevel) {
+			w = append(w, 0)
+			r = append(r, 0)
+		}
+		for i, ls := range st.PerLevel {
+			w[i] += ls.WriteBytes
+			r[i] += ls.ReadBytes
+		}
+		c.Ops += kid.putOps.Load() + kid.getOps.Load()
+		c.StallNanos += kid.stallNanos.Load()
+		_, hits, misses := kid.cache.HitRate()
+		c.CacheHits += hits
+		c.CacheLookups += hits + misses
+		c.CommitGroups += kid.commitGroups.Load()
+		c.CommitBatches += kid.commitBatches.Load()
+	}
+	io := db.io.Snapshot()
+	c.WriteBytes = io.BytesWritten
+	c.ReadBytes = io.BytesRead
+	c.PerLevelWrite = w
+	c.PerLevelRead = r
+	c.Put = db.putHist.Snapshot()
+	return c
+}
+
+// scrub runs a verification pass over every shard in order, merging the
+// reports; the router's Scrub wrapper owns the running flag.
+func (ss *shardSet) scrub() (ScrubReport, error) {
+	var rep ScrubReport
+	var firstErr error
+	for _, kid := range ss.kids {
+		kr, err := kid.Scrub()
+		rep.Tables += kr.Tables
+		rep.Seqs += kr.Seqs
+		rep.Blocks += kr.Blocks
+		rep.Bytes += kr.Bytes
+		rep.Entries += kr.Entries
+		rep.WALFiles += kr.WALFiles
+		rep.WALRecords += kr.WALRecords
+		rep.WALDropped += kr.WALDropped
+		rep.Corruptions = append(rep.Corruptions, kr.Corruptions...)
+		rep.Quarantined += kr.Quarantined
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+	}
+	return rep, firstErr
+}
+
+// checkpoint copies every shard (each with its own data-before-manifest
+// protocol) and writes the SHARDS marker last as the commit point: a
+// destination without the marker is never mistaken for a database, so a
+// checkpoint that crashed partway is detected, not silently adopted.
+func (ss *shardSet) checkpoint(db *DB, dstDir string) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.mu.Unlock()
+	if err := db.fs.MkdirAll(dstDir); err != nil {
+		return err
+	}
+	if db.fs.Exists(dstDir+"/"+shardsFileName) || db.fs.Exists(dstDir+"/MANIFEST") {
+		return fmt.Errorf("iamdb: checkpoint target %s already holds a database", dstDir)
+	}
+	for i, kid := range ss.kids {
+		if err := kid.Checkpoint(shardDirName(dstDir, i)); err != nil {
+			return err
+		}
+	}
+	return writeShardsFile(db.fs, dstDir, ss.part)
+}
+
+// newInner builds the cross-shard inner iterator at the current states:
+// per shard, the usual mem/imm/engine merge; across shards, plain
+// concatenation — the ranges are disjoint and ordered, so no heap is
+// needed and a scan only pays for the shards it actually touches.
+func (ss *shardSet) newInner() iterator.ReverseIterator {
+	kids := make([]iterator.ReverseIterator, len(ss.kids))
+	for i, kid := range ss.kids {
+		st := kid.state.Load()
+		sub := []iterator.Iterator{st.mem.NewIter()}
+		if st.imm != nil {
+			sub = append(sub, st.imm.NewIter())
+		}
+		sub = append(sub, kid.eng.NewIter())
+		kids[i] = iterator.NewMerging(kv.CompareInternal, sub...)
+	}
+	return &shardConcat{part: ss.part, kids: kids, cur: -1}
+}
+
+// shardConcat concatenates per-shard iterators into one totally ordered
+// stream over internal keys, in both directions.  Seek targets are
+// routed by user key; exhausting one shard moves to the next (forward)
+// or previous (backward) one.
+type shardConcat struct {
+	part shard.Partition
+	kids []iterator.ReverseIterator
+	cur  int // current child, -1 when exhausted
+	err  error
+}
+
+func (c *shardConcat) note(err error) {
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// fwd settles on the first valid child at or after i; children before i
+// must already be positioned, children after get First.
+func (c *shardConcat) fwd(i int) {
+	for ; i < len(c.kids); i++ {
+		if c.kids[i].Valid() {
+			c.cur = i
+			return
+		}
+		c.note(c.kids[i].Err())
+		if i+1 < len(c.kids) {
+			c.kids[i+1].First()
+		}
+	}
+	c.cur = -1
+}
+
+// bwd settles on the last valid child at or before i.
+func (c *shardConcat) bwd(i int) {
+	for ; i >= 0; i-- {
+		if c.kids[i].Valid() {
+			c.cur = i
+			return
+		}
+		c.note(c.kids[i].Err())
+		if i > 0 {
+			c.kids[i-1].Last()
+		}
+	}
+	c.cur = -1
+}
+
+// First implements iterator.Iterator.
+func (c *shardConcat) First() {
+	c.kids[0].First()
+	c.fwd(0)
+}
+
+// Seek implements iterator.Iterator.
+func (c *shardConcat) Seek(target []byte) {
+	u, _, _, ok := kv.ParseInternalKey(target)
+	if !ok {
+		c.note(errBadBatch)
+		c.cur = -1
+		return
+	}
+	i := c.part.IndexOf(u)
+	c.kids[i].Seek(target)
+	c.fwd(i)
+}
+
+// Next implements iterator.Iterator.
+func (c *shardConcat) Next() {
+	if c.cur < 0 {
+		return
+	}
+	c.kids[c.cur].Next()
+	c.fwd(c.cur)
+}
+
+// Last implements iterator.ReverseIterator.
+func (c *shardConcat) Last() {
+	last := len(c.kids) - 1
+	c.kids[last].Last()
+	c.bwd(last)
+}
+
+// SeekForPrev implements iterator.ReverseIterator.
+func (c *shardConcat) SeekForPrev(target []byte) {
+	u, _, _, ok := kv.ParseInternalKey(target)
+	if !ok {
+		c.note(errBadBatch)
+		c.cur = -1
+		return
+	}
+	i := c.part.IndexOf(u)
+	c.kids[i].SeekForPrev(target)
+	c.bwd(i)
+}
+
+// Prev implements iterator.ReverseIterator.
+func (c *shardConcat) Prev() {
+	if c.cur < 0 {
+		return
+	}
+	c.kids[c.cur].Prev()
+	c.bwd(c.cur)
+}
+
+// Valid implements iterator.Iterator.
+func (c *shardConcat) Valid() bool { return c.cur >= 0 && c.err == nil }
+
+// Key implements iterator.Iterator.
+func (c *shardConcat) Key() []byte {
+	if c.cur < 0 {
+		return nil
+	}
+	return c.kids[c.cur].Key()
+}
+
+// Value implements iterator.Iterator.
+func (c *shardConcat) Value() []byte {
+	if c.cur < 0 {
+		return nil
+	}
+	return c.kids[c.cur].Value()
+}
+
+// Err implements iterator.Iterator.
+func (c *shardConcat) Err() error { return c.err }
+
+// Close implements iterator.Iterator.
+func (c *shardConcat) Close() error {
+	var first error
+	for _, kid := range c.kids {
+		if err := kid.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -20,14 +20,40 @@ type Snapshot struct {
 // a small dedicated lock, never db.mu.  Pushing the horizon down into
 // the engine does take the engine's own mutex under snapMu:
 //
+// On a sharded DB the sequence is the global watermark — a consistent
+// cut no torn cross-shard batch can straddle — and the pin is fanned
+// out to every shard's registry, so each shard's merges respect the
+// snapshot's horizon.
+//
 //iamlint:lockorder snapMu < core.Tree.mu; snapMu < lsm.DB.mu
 func (db *DB) GetSnapshot() *Snapshot {
-	s := &Snapshot{db: db, seq: kv.Seq(db.seqA.Load())}
+	s := &Snapshot{db: db, seq: db.visibleSeq()}
+	if ss := db.shards; ss != nil {
+		for _, kid := range ss.kids {
+			kid.pinAt(s.seq)
+		}
+		return s
+	}
+	db.pinAt(s.seq)
+	return s
+}
+
+// pinAt registers one snapshot reference at seq in this DB's registry.
+func (db *DB) pinAt(seq kv.Seq) {
 	db.snapMu.Lock()
-	db.snaps[s.seq]++
+	db.snaps[seq]++
 	db.updateHorizonLocked()
 	db.snapMu.Unlock()
-	return s
+}
+
+// unpinAt drops one snapshot reference at seq.
+func (db *DB) unpinAt(seq kv.Seq) {
+	db.snapMu.Lock()
+	if db.snaps[seq]--; db.snaps[seq] <= 0 {
+		delete(db.snaps, seq)
+	}
+	db.updateHorizonLocked()
+	db.snapMu.Unlock()
 }
 
 // Release ends the snapshot's protection; idempotent.
@@ -37,12 +63,13 @@ func (s *Snapshot) Release() {
 	}
 	s.released = true
 	db := s.db
-	db.snapMu.Lock()
-	defer db.snapMu.Unlock()
-	if db.snaps[s.seq]--; db.snaps[s.seq] <= 0 {
-		delete(db.snaps, s.seq)
+	if ss := db.shards; ss != nil {
+		for _, kid := range ss.kids {
+			kid.unpinAt(s.seq)
+		}
+		return
 	}
-	db.updateHorizonLocked()
+	db.unpinAt(s.seq)
 }
 
 // updateHorizonLocked pushes the oldest live snapshot (or "none") down
@@ -67,8 +94,17 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	if db.closedA.Load() {
 		return nil, ErrClosed
 	}
-	st := db.state.Load()
-	v, kind, err := db.getRawAt(key, s.seq, st.mem, st.imm)
+	var v []byte
+	var kind kv.Kind
+	var err error
+	if ss := db.shards; ss != nil {
+		kid := ss.kid(key)
+		st := kid.state.Load()
+		v, kind, err = kid.getRawAt(key, s.seq, st.mem, st.imm)
+	} else {
+		st := db.state.Load()
+		v, kind, err = db.getRawAt(key, s.seq, st.mem, st.imm)
+	}
 	if err != nil {
 		return nil, err
 	}
