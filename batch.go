@@ -12,6 +12,21 @@ import (
 // the batch becomes visible (and durable in one WAL record) or none.
 type Batch struct {
 	ops []batchOp
+
+	// gcOld, when non-nil, marks this as a value-log GC rewrite batch:
+	// gcOld[i] is the pointer encoding op i is replacing, and the
+	// commit leader drops any op whose key no longer resolves to that
+	// exact pointer — or whose key any ordinary batch in the same
+	// commit group writes — so a GC rewrite can never resurrect a
+	// value a concurrent write or delete superseded, regardless of
+	// sequence order within the group (see separateGroup).
+	gcOld [][]byte
+
+	// gcFailed is set by the commit leader when a rewrite op's liveness
+	// check failed with a read error (not ErrNotFound): the collector
+	// must then keep the old segment, since the op was dropped without
+	// proof the record is dead.
+	gcFailed bool
 }
 
 type batchOp struct {
@@ -31,11 +46,23 @@ func (b *Batch) Delete(key []byte) {
 	b.ops = append(b.ops, batchOp{kv.KindDelete, append([]byte(nil), key...), nil})
 }
 
+// putPointer queues a pre-separated value-log pointer record (GC
+// rewrites), conditional on oldPtr still being the key's current
+// value at commit time.
+func (b *Batch) putPointer(key, ptr, oldPtr []byte) {
+	for len(b.gcOld) < len(b.ops) {
+		b.gcOld = append(b.gcOld, nil)
+	}
+	b.ops = append(b.ops, batchOp{kv.KindValuePtr,
+		append([]byte(nil), key...), append([]byte(nil), ptr...)})
+	b.gcOld = append(b.gcOld, append([]byte(nil), oldPtr...))
+}
+
 // Len reports the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
 // Reset clears the batch for reuse.
-func (b *Batch) Reset() { b.ops = b.ops[:0] }
+func (b *Batch) Reset() { b.ops = b.ops[:0]; b.gcOld = nil; b.gcFailed = false }
 
 // appendEncoded serializes the batch onto buf and returns the extended
 // slice:
@@ -53,7 +80,9 @@ func (b *Batch) appendEncoded(buf []byte, startSeq kv.Seq) []byte {
 		buf = append(buf, byte(op.kind))
 		buf = binary.AppendUvarint(buf, uint64(len(op.key)))
 		buf = append(buf, op.key...)
-		if op.kind == kv.KindSet {
+		if op.kind != kv.KindDelete {
+			// Set carries the value; ValuePtr carries the pointer
+			// encoding.  Only tombstones are value-free.
 			buf = binary.AppendUvarint(buf, uint64(len(op.val)))
 			buf = append(buf, op.val...)
 		}
@@ -115,7 +144,7 @@ func decodeOneBatch(rec []byte, mt *memtable.MemTable) (kv.Seq, []byte, error) {
 		key := p[:klen]
 		p = p[klen:]
 		var val []byte
-		if kind == kv.KindSet {
+		if kind == kv.KindSet || kind == kv.KindValuePtr {
 			vlen, ok := u()
 			if !ok || uint64(len(p)) < vlen {
 				return 0, nil, errBadBatch

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"iamdb/internal/vfs"
+	"iamdb/internal/vlog"
 )
 
 // Checkpoint writes a consistent, openable copy of the database to
@@ -54,11 +55,19 @@ func (db *DB) Checkpoint(dstDir string) error {
 		return fmt.Errorf("iamdb: checkpoint target %s already holds a database", dstDir)
 	}
 
+	// Value-log segments are data the copied tree's pointer records
+	// reference, so they join the data-before-metadata copy set.  GC
+	// deletion is held across List and the copy loop so a concurrent
+	// collection cannot remove a segment between the two.
+	if db.vl != nil {
+		db.vl.HoldDeletes()
+		defer db.vl.ReleaseDeletes()
+	}
 	names, err := db.fs.List(db.dir)
 	if err != nil {
 		return err
 	}
-	var tables, logs []string
+	var tables, logs, vsegs []string
 	haveManifest := false
 	for _, name := range names {
 		switch {
@@ -66,6 +75,8 @@ func (db *DB) Checkpoint(dstDir string) error {
 			tables = append(tables, name)
 		case strings.HasSuffix(name, ".log"):
 			logs = append(logs, name)
+		case strings.HasSuffix(name, vlog.SegmentSuffix):
+			vsegs = append(vsegs, name)
 		case name == "MANIFEST":
 			haveManifest = true
 		}
@@ -75,7 +86,7 @@ func (db *DB) Checkpoint(dstDir string) error {
 	}
 	// Data before metadata: every file the manifest will reference must
 	// be durable before the manifest exists at the destination.
-	for _, name := range append(append([]string(nil), tables...), logs...) {
+	for _, name := range append(append(append([]string(nil), tables...), logs...), vsegs...) {
 		if err := copyFile(db.fs, db.dir+"/"+name, dstDir+"/"+name); err != nil {
 			return fmt.Errorf("iamdb: checkpoint %s: %w", name, err)
 		}

@@ -28,8 +28,9 @@ import (
 const (
 	// concSyncLat is the modeled device sync latency.
 	concSyncLat = 100 * time.Microsecond
-	// concValueSize matches the harness's default value size.
-	concValueSize = 100
+	// concValueSize is the harness's default value size — referenced,
+	// not restated, so the two cannot drift.
+	concValueSize = harness.DefaultValueSize
 )
 
 // syncLatFS wraps an FS so every file Sync sleeps for the modeled

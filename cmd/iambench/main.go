@@ -11,7 +11,7 @@
 //
 // Experiment ids: table1 table2 table3 table4 table5 figure6
 // figure7a figure7b figure7c figure8 figure9 figure10 stability
-// concurrency shards
+// kvsep concurrency shards
 //
 // All experiments except `concurrency` and `shards` run on the
 // deterministic virtual-disk harness; those two measure the commit
@@ -67,6 +67,8 @@ func experiments() []experiment {
 			func(s harness.Scale) (harness.Table, error) { return s.Figure10() }},
 		{"stability", "sustained-workload throughput variance and worst-window tails",
 			func(s harness.Scale) (harness.Table, error) { return s.Stability() }},
+		{"kvsep", "key-value separation: large-value throughput and write-byte crossover",
+			func(s harness.Scale) (harness.Table, error) { return s.KVSep() }},
 		{"concurrency", "group-commit throughput vs writer count (wall clock)",
 			runConcurrency},
 		{"shards", "sharded front-end throughput vs shard count (wall clock)",

@@ -79,6 +79,82 @@ func TestCrashMatrix(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixKVSep runs the crash oracle with key-value separation
+// on: values above the threshold live in the value log, so crashes land
+// between log appends, log syncs and WAL pointer commits, and recovery
+// must honor value-durable-before-pointer — a surviving pointer whose
+// value is gone would surface as a corruption read, which the oracle
+// rejects for acknowledged keys.
+func TestCrashMatrixKVSep(t *testing.T) {
+	full := os.Getenv("IAMDB_CRASH_FULL") != ""
+	engines := []iamdb.EngineKind{iamdb.IAM, iamdb.LSA}
+	if full {
+		engines = append(engines, iamdb.LevelDB, iamdb.RocksDB)
+	}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			// Threshold 8 separates every scripted value (~18 bytes).
+			w := harness.CrashWorkload{Engine: eng, ValueThreshold: 8}
+			cal, err := w.Calibrate()
+			if err != nil {
+				t.Fatalf("calibrate: %v", err)
+			}
+			if cal.OpCount < 200 || len(cal.SyncPoints) < 50 {
+				t.Fatalf("workload too small to explore: %d ops, %d sync points",
+					cal.OpCount, len(cal.SyncPoints))
+			}
+			var points []int64
+			if full {
+				for i := int64(0); i <= cal.OpCount; i++ {
+					points = append(points, i)
+				}
+			} else {
+				points = pickPoints(cal, 50, 30)
+			}
+			for _, p := range points {
+				if err := w.Trial(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, md := range []struct {
+				name string
+				mode vfs.CrashMode
+			}{{"Torn", vfs.CrashTorn}, {"Flip", vfs.CrashFlip}} {
+				md := md
+				t.Run(md.name, func(t *testing.T) {
+					wm := w
+					wm.Mode = md.mode
+					sub := points
+					if !full {
+						sub = pickPoints(cal, 10, 6)
+					}
+					for _, p := range sub {
+						if err := wm.Trial(p); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestCrashMatrixShardedKVSep combines both fronts: a 4-shard store
+// with one value log per shard.
+func TestCrashMatrixShardedKVSep(t *testing.T) {
+	w := harness.CrashWorkload{Engine: iamdb.IAM, Shards: 4, ValueThreshold: 8}
+	cal, err := w.Calibrate()
+	if err != nil {
+		t.Fatalf("calibrate: %v", err)
+	}
+	for _, p := range pickPoints(cal, 24, 16) {
+		if err := w.Trial(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestCrashMatrixSharded runs the same oracle against a 4-shard
 // front-end: each shard has its own WAL and recovery path, and the
 // crash may land in any of them (or in the SHARDS marker write).

@@ -40,6 +40,7 @@ import (
 	"iamdb/internal/metrics"
 	"iamdb/internal/trace"
 	"iamdb/internal/vfs"
+	"iamdb/internal/vlog"
 	"iamdb/internal/wal"
 )
 
@@ -119,7 +120,7 @@ type DB struct {
 	// compaction pipeline while holding commitMu, so the engine locks
 	// (and through them the trace recorder and vfs locks) nest under it.
 	//
-	//iamlint:lockorder commitMu < qmu; commitMu < iamdb.DB.mu; iamdb.DB.mu < vfs.*; commitMu < trace.Recorder.mu; iamdb.DB.mu < trace.Recorder.mu; commitMu < core.Tree.mu; commitMu < lsm.DB.mu; qmu leaf
+	//iamlint:lockorder commitMu < qmu; commitMu < iamdb.DB.mu; iamdb.DB.mu < vfs.*; commitMu < trace.Recorder.mu; iamdb.DB.mu < trace.Recorder.mu; commitMu < core.Tree.mu; commitMu < lsm.DB.mu; commitMu < vlog.Log.mu; commitMu < vlog.Log.statsMu; qmu leaf
 	qmu      sync.Mutex
 	pendingQ []*commitOp
 	commitMu sync.Mutex
@@ -197,6 +198,27 @@ type DB struct {
 	corrDetected    *metrics.Counter
 	corrQuarantined *metrics.Counter
 	scrubBlocksC    *metrics.Counter
+
+	// Key-value separation (see vlogdb.go and DESIGN.md "Key-value
+	// separation").  vl is nil when the store has no value log; it is
+	// set once during open, before any worker or user operation runs.
+	// routerWrite, set on a shard child by the sharded router, commits
+	// GC rewrite batches through the router so they take globally
+	// allocated sequences.  iterOpen counts open iterators (every shard
+	// of a sharded view counts its own) and gates deferred segment
+	// deletion; vlogPendMu is a leaf lock guarding that queue.
+	vl          *vlog.Log
+	vlogOpenSt  vlog.OpenStats
+	vlogGCC     chan struct{}
+	routerWrite func(*Batch) error
+	iterOpen    atomic.Int64
+	vlogPendMu  sync.Mutex
+	vlogPend    []uint64
+
+	vlogAppendsC   *metrics.Counter
+	vlogResolvesC  *metrics.Counter
+	vlogGCRewrites *metrics.Counter
+	vlogGCSegments *metrics.Counter
 
 	// walDrops records WAL tails truncated during recovery, reported as
 	// detections by noteOpenSuspicion: a torn tail after a crash and a
@@ -323,6 +345,11 @@ func openSingle(dir string, o Options) (*DB, error) {
 	db.commitBatches = db.reg.Counter("commit.batches")
 	db.commitWait = db.reg.Counter("commit.wait.nanos")
 	db.groupSize = db.reg.Histogram("commit.group.size")
+	db.vlogAppendsC = db.reg.Counter("vlog.appends")
+	db.vlogResolvesC = db.reg.Counter("vlog.resolves")
+	db.vlogGCRewrites = db.reg.Counter("vlog.gc.rewrites")
+	db.vlogGCSegments = db.reg.Counter("vlog.gc.segments")
+	db.vlogGCC = make(chan struct{}, 1)
 	db.cond = sync.NewCond(&db.mu)
 	if err := db.fs.MkdirAll(dir); err != nil {
 		return nil, err
@@ -334,7 +361,13 @@ func openSingle(dir string, o Options) (*DB, error) {
 		db.eng.Close()
 		return nil, err
 	}
+	if err := db.openVLog(); err != nil {
+		_ = db.walF.Close()
+		db.eng.Close()
+		return nil, err
+	}
 	db.noteOpenSuspicion()
+	db.noteVlogOpenSuspicion()
 	db.seqA.Store(uint64(db.seq))
 	db.mu.Lock()
 	db.publishStateLocked()
@@ -346,6 +379,11 @@ func openSingle(dir string, o Options) (*DB, error) {
 			db.wg.Add(1)
 			go db.compactWorker()
 		}
+	}
+	if !o.shardChild {
+		// A shard child's collector is started by the router, after
+		// routerWrite is wired (rewrites must take global sequences).
+		db.startVlogGC()
 	}
 	if o.DebugAddr != "" {
 		if err := db.startDebugServer(o.DebugAddr); err != nil {
@@ -372,8 +410,8 @@ func (db *DB) openEngine() error {
 			NodeCapacity: db.opt.MemtableSize, Fanout: db.opt.Fanout,
 			Policy: policy, K: db.opt.K, MemBudget: budget,
 			FixedM: db.opt.FixedM, BitsPerKey: db.opt.BitsPerKey,
-			Compression: db.opt.Compression,
-			Events:      db.events, Clock: db.clock, Trace: db.tr,
+			Compression: db.opt.Compression, OnDrop: db.vlogOnDrop,
+			Events: db.events, Clock: db.clock, Trace: db.tr,
 		})
 		if err != nil {
 			return err
@@ -389,8 +427,8 @@ func (db *DB) openEngine() error {
 			FileSize: db.opt.FileSize, LevelSizeBase: db.opt.LevelSizeBase,
 			Fanout: db.opt.Fanout, L0CompactTrigger: db.opt.L0CompactTrigger,
 			Profile: profile, BitsPerKey: db.opt.BitsPerKey,
-			Compression: db.opt.Compression,
-			Events:      db.events, Clock: db.clock, Trace: db.tr,
+			Compression: db.opt.Compression, OnDrop: db.vlogOnDrop,
+			Events: db.events, Clock: db.clock, Trace: db.tr,
 		})
 		if err != nil {
 			return err
@@ -624,7 +662,7 @@ func (db *DB) commitGroup(group []*commitOp) {
 	// (space came back); flush/compaction errors are left for their own
 	// retry loops to clear.
 	healWal := false
-	if be, ok := db.bgErr.(*BackgroundError); ok && be.Op == "wal" {
+	if be, ok := db.bgErr.(*BackgroundError); ok && (be.Op == "wal" || be.Op == "vlog") {
 		healWal = true
 	}
 	db.mu.Unlock()
@@ -635,6 +673,21 @@ func (db *DB) commitGroup(group []*commitOp) {
 	}
 	sp := db.tr.Begin("commit.group")
 	sp.SetCount(int64(len(group)))
+
+	// Key-value separation: move large values to the value log (synced
+	// before the WAL append carrying their pointers) and filter GC
+	// rewrites against the committed state.  See vlogdb.go.
+	var sepExtra int64
+	if db.vl != nil {
+		var err error
+		sepExtra, err = db.separateGroup(group)
+		if err != nil {
+			sp.End()
+			db.noteCommitError("vlog", err)
+			finishGroup(group, err)
+			return
+		}
+	}
 
 	// One record of concatenated batch encodings; recovery decodes
 	// them back-to-back (decodeRecordInto).  Router-assigned ops carry
@@ -665,7 +718,7 @@ func (db *DB) commitGroup(group []*commitOp) {
 		// so a replay after crash can never collide with a reuse.
 		db.seq = seq
 		sp.End()
-		db.noteCommitError(err)
+		db.noteCommitError("wal", err)
 		finishGroup(group, err)
 		return
 	}
@@ -686,6 +739,10 @@ func (db *DB) commitGroup(group []*commitOp) {
 		applied += int64(op.b.Len())
 	}
 	db.seq = seq
+	// sepExtra restores the original value bytes separation replaced
+	// with pointers, so user-byte accounting (the write-amplification
+	// denominator) stays in terms of what the user logically wrote.
+	user += sepExtra
 	db.userBytes.Add(user)
 	db.putOps.Add(applied)
 	// Publish: every record at or below seq committed by THIS pipeline
@@ -904,14 +961,14 @@ func (db *DB) noteOpenSuspicion() {
 	}
 }
 
-// noteCommitError latches a WAL-append failure from the commit path as
-// a background error.  Unlike noteBgError it never sleeps and never
-// calls Resume — the failing writer is a foreground goroutine and gets
-// its error back immediately — but the same consecutive-failure
-// counting degrades the DB to read-only once the limit is exceeded, so
-// a full disk stops the write path instead of burning sequence ranges
-// forever.
-func (db *DB) noteCommitError(err error) {
+// noteCommitError latches a log-append failure from the commit path
+// (op "wal" or "vlog") as a background error.  Unlike noteBgError it
+// never sleeps and never calls Resume — the failing writer is a
+// foreground goroutine and gets its error back immediately — but the
+// same consecutive-failure counting degrades the DB to read-only once
+// the limit is exceeded, so a full disk stops the write path instead
+// of burning sequence ranges forever.
+func (db *DB) noteCommitError(op string, err error) {
 	if errors.Is(err, vfs.ErrNoSpace) {
 		db.bgNoSpace.Inc()
 	}
@@ -923,7 +980,7 @@ func (db *DB) noteCommitError(err error) {
 	if db.bgErr == nil {
 		db.bgErrSince = int64(db.clock.Now())
 	}
-	db.bgErr = &BackgroundError{Op: "wal", Err: err}
+	db.bgErr = &BackgroundError{Op: op, Err: err}
 	db.bgFails++
 	try := db.bgFails
 	db.bgRetries.Inc()
@@ -936,7 +993,7 @@ func (db *DB) noteCommitError(err error) {
 	cause := db.bgErr
 	db.cond.Broadcast()
 	db.mu.Unlock()
-	db.events.BackgroundError(metrics.BackgroundErrorInfo{Op: "wal", Err: err, Retries: try})
+	db.events.BackgroundError(metrics.BackgroundErrorInfo{Op: op, Err: err, Retries: try})
 	if enteredRO {
 		db.events.ReadOnlyEnter(metrics.ReadOnlyInfo{Cause: cause})
 	}
@@ -1210,7 +1267,11 @@ func (db *DB) getRaw(key []byte) ([]byte, kv.Kind, error) {
 	}
 	snap := kv.Seq(db.seqA.Load())
 	st := db.state.Load()
-	return db.getRawAt(key, snap, st.mem, st.imm)
+	v, kind, err := db.getRawAt(key, snap, st.mem, st.imm)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db.maybeResolve(key, v, kind)
 }
 
 func (db *DB) getRawAt(key []byte, snap kv.Seq, mem, imm *memtable.MemTable) ([]byte, kv.Kind, error) {
@@ -1266,7 +1327,7 @@ func (db *DB) Close() error {
 	// observe closed under db.mu and never touch the WAL.
 	db.commitMu.Lock()
 	db.commitMu.Unlock()
-	return errors.Join(db.walF.Close(), db.eng.Close())
+	return errors.Join(db.walF.Close(), db.closeVlog(), db.eng.Close())
 }
 
 // CompactAll flushes both memtables and settles every pending
@@ -1340,7 +1401,7 @@ func (db *DB) Flush() error {
 		// The memtable is still in place; count the failure like any
 		// other commit-path fault so a full disk degrades the store
 		// instead of failing opaquely forever.
-		db.noteCommitError(err)
+		db.noteCommitError("wal", err)
 		return err
 	}
 	if db.opt.InlineBackground {

@@ -27,6 +27,7 @@ const (
 	LayerTableBlock  = corrupt.LayerTableBlock
 	LayerWAL         = corrupt.LayerWAL
 	LayerManifest    = corrupt.LayerManifest
+	LayerVLog        = corrupt.LayerVLog
 )
 
 // IsCorruption reports whether err is, or wraps, a CorruptionError.

@@ -1,0 +1,73 @@
+package amp
+
+// Key-value separation closed forms.  With separation, a record's value
+// is appended once to the value log and the tree's merge pipeline moves
+// only a fixed-size pointer, so the value stops multiplying with the
+// tree's write amplification.  Counting device bytes per record over
+// its lifetime (WAL write once, then W rewrites by merges/splits):
+//
+//	inline:    (K + V) * (1 + W)
+//	separated: (K + P) * (1 + W)  +  (H + K + V)
+//
+// where K is the key size, V the value size, P the in-tree pointer
+// size, H the value-log record framing (CRC + length varints), and W
+// the tree's write amplification (e.g. IAMWrite/LSAWrite/LSMWrite).
+// The separated form pays the pointer through the full pipeline plus
+// one log append of the framed key+value.  Setting the two equal and
+// solving for V gives the crossover value size
+//
+//	V* = (H + K + P*(1 + W)) / W
+//
+// above which separation writes fewer device bytes per record — and
+// increasingly fewer as V grows, since the V·W term is gone.
+
+// KVSepParams capture the record geometry the formulas depend on.
+type KVSepParams struct {
+	// KeySize is the user key size K in bytes.
+	KeySize int
+	// PointerSize is the in-tree pointer record's value size P (the
+	// encoded segment/offset/length triple).
+	PointerSize int
+	// RecordOverhead is the value-log per-record framing H: checksum
+	// plus length prefixes.
+	RecordOverhead int
+	// TreeWriteAmp is W, the tree's write amplification — total merge
+	// pipeline writes over user bytes, as the Eq. 3–5 forms predict or
+	// Metrics.WriteAmplification measures.
+	TreeWriteAmp float64
+}
+
+// InlineDeviceBytes is the lifetime device bytes of one inline record
+// of value size v: (K+v)(1+W).
+func InlineDeviceBytes(p KVSepParams, v int) float64 {
+	return float64(p.KeySize+v) * (1 + p.TreeWriteAmp)
+}
+
+// SeparatedDeviceBytes is the lifetime device bytes of one separated
+// record of value size v: (K+P)(1+W) + (H+K+v).
+func SeparatedDeviceBytes(p KVSepParams, v int) float64 {
+	return float64(p.KeySize+p.PointerSize)*(1+p.TreeWriteAmp) +
+		float64(p.RecordOverhead+p.KeySize+v)
+}
+
+// CrossoverValueSize is V* = (H + K + P(1+W)) / W, the value size where
+// separated and inline lifetime device bytes are equal.  Returns +Inf
+// semantics via a very large value when W is zero (no rewrites means
+// separation never wins on write bytes).
+func CrossoverValueSize(p KVSepParams) float64 {
+	if p.TreeWriteAmp <= 0 {
+		return 1e18
+	}
+	return (float64(p.RecordOverhead) + float64(p.KeySize) +
+		float64(p.PointerSize)*(1+p.TreeWriteAmp)) / p.TreeWriteAmp
+}
+
+// SeparationGain is the inline/separated device-byte ratio at value
+// size v — >1 when separation wins.
+func SeparationGain(p KVSepParams, v int) float64 {
+	s := SeparatedDeviceBytes(p, v)
+	if s == 0 {
+		return 0
+	}
+	return InlineDeviceBytes(p, v) / s
+}

@@ -1,0 +1,53 @@
+package amp
+
+import "testing"
+
+func TestCrossoverSolvesEquality(t *testing.T) {
+	p := KVSepParams{KeySize: 16, PointerSize: 20, RecordOverhead: 7, TreeWriteAmp: 6.5}
+	v := CrossoverValueSize(p)
+	// At V* the two lifetime device-byte forms are equal.
+	in := InlineDeviceBytes(p, int(v))
+	sep := SeparatedDeviceBytes(p, int(v))
+	// int truncation of v perturbs both sides by at most (1+W) bytes.
+	if !near(in, sep, 1+p.TreeWriteAmp) {
+		t.Fatalf("at V*=%.1f: inline %.1f separated %.1f", v, in, sep)
+	}
+}
+
+func TestSeparationGainGrowsWithValueSize(t *testing.T) {
+	p := KVSepParams{KeySize: 16, PointerSize: 20, RecordOverhead: 7, TreeWriteAmp: 6.5}
+	v := CrossoverValueSize(p)
+	if g := SeparationGain(p, int(v/2)); g >= 1 {
+		t.Fatalf("below crossover separation should lose: gain %.3f", g)
+	}
+	if g := SeparationGain(p, int(v*4)); g <= 1 {
+		t.Fatalf("above crossover separation should win: gain %.3f", g)
+	}
+	// The gain is monotone in V and approaches 1+W as V → ∞.
+	prev := 0.0
+	for _, v := range []int{64, 1 << 10, 64 << 10, 1 << 20} {
+		g := SeparationGain(p, v)
+		if g <= prev {
+			t.Fatalf("gain not monotone at %d: %.3f <= %.3f", v, g, prev)
+		}
+		prev = g
+	}
+	if lim := 1 + p.TreeWriteAmp; prev >= lim {
+		t.Fatalf("gain %.3f exceeded limit %.3f", prev, lim)
+	}
+}
+
+func TestCrossoverDropsWithWriteAmp(t *testing.T) {
+	// Heavier merge pipelines make separation pay off at smaller values.
+	base := KVSepParams{KeySize: 16, PointerSize: 20, RecordOverhead: 7}
+	low, high := base, base
+	low.TreeWriteAmp, high.TreeWriteAmp = 2, 10
+	if CrossoverValueSize(low) <= CrossoverValueSize(high) {
+		t.Fatal("crossover should shrink as W grows")
+	}
+	// W = 0 means values are never rewritten, so separation never wins.
+	zero := base
+	if CrossoverValueSize(zero) < 1e17 {
+		t.Fatal("zero write amp should push the crossover to infinity")
+	}
+}

@@ -86,6 +86,10 @@ type Config struct {
 	// Compression enables flate compression of data blocks (off by
 	// default, matching the paper's setup).
 	Compression bool
+	// OnDrop is notified of every record merges discard (see
+	// engine.DropObserver); the DB layer uses it to feed value-log
+	// discard statistics.  Nil disables the callback.
+	OnDrop engine.DropObserver
 	// Events receives structural event notifications (flush, split,
 	// combine, merge, ...).  Nil means no-op listeners.
 	Events *metrics.EventListener

@@ -71,7 +71,7 @@ func (t *Tree) Flush(it iterator.Iterator) error {
 		t.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: flushed, Duration: t.cfg.Clock.Now() - start})
 	}()
 	atBottom := t.treeEmptyLocked()
-	b, err := collect(engine.DropObsolete(it, t.horizon, atBottom))
+	b, err := collect(engine.DropObsoleteObserved(it, t.horizon, atBottom, t.cfg.OnDrop))
 	if err != nil {
 		return err
 	}
@@ -216,7 +216,7 @@ func (t *Tree) flushNode(i int, x *node, destroy bool) error {
 // loadNode merges a node's sequences in memory, dropping obsolete
 // versions (the node's own sequences shadow each other).
 func (t *Tree) loadNode(x *node) (*batch, error) {
-	it := engine.DropObsolete(x.tbl.NewIter(), t.horizon, false)
+	it := engine.DropObsoleteObserved(x.tbl.NewIter(), t.horizon, false, t.cfg.OnDrop)
 	defer it.Close()
 	return collect(it)
 }
@@ -484,7 +484,7 @@ func (t *Tree) mergeChild(dst int, kid *node, sub *batch) error {
 	}
 	t.stats.AddReadBytes(dst, kid.dataSize())
 	merged := iterator.NewMerging(kv.CompareInternal, sub.iter(), kid.tbl.NewIter())
-	filtered := engine.DropObsolete(merged, t.horizon, atBottom)
+	filtered := engine.DropObsoleteObserved(merged, t.horizon, atBottom, t.cfg.OnDrop)
 	filtered.First()
 	newNodes, bytes, err := t.writeNodesFrom(filtered, chunk)
 	if err != nil {

@@ -20,6 +20,7 @@ const (
 	LayerTableBlock  = "table.block"  // MSTable data block CRC / payload
 	LayerWAL         = "wal"          // write-ahead-log fragments
 	LayerManifest    = "manifest"     // manifest edit records
+	LayerVLog        = "vlog"         // value-log segment header / record CRC
 )
 
 // Error describes one detected corruption with provenance.  Got and

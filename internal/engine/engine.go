@@ -223,13 +223,27 @@ func (s StatsSnapshot) TotalReadBytes() int64 {
 // Appends never pass through this filter; that is precisely why append
 // trees carry extra space amplification (Sec. 5.3.3).
 func DropObsolete(it iterator.Iterator, horizon kv.Seq, atBottom bool) iterator.Iterator {
-	return &dropIter{in: it, horizon: horizon, atBottom: atBottom}
+	return DropObsoleteObserved(it, horizon, atBottom, nil)
+}
+
+// DropObserver is notified of every record the retention rule discards,
+// with the record's kind and value (the slices alias merge buffers and
+// must not be retained).  The DB layer uses it to credit dropped
+// value-log pointers to their segments' discard statistics — the signal
+// density GC runs on.
+type DropObserver func(kind kv.Kind, val []byte)
+
+// DropObsoleteObserved is DropObsolete with a drop observer; a nil
+// onDrop behaves exactly like DropObsolete.
+func DropObsoleteObserved(it iterator.Iterator, horizon kv.Seq, atBottom bool, onDrop DropObserver) iterator.Iterator {
+	return &dropIter{in: it, horizon: horizon, atBottom: atBottom, onDrop: onDrop}
 }
 
 type dropIter struct {
 	in       iterator.Iterator
 	horizon  kv.Seq
 	atBottom bool
+	onDrop   DropObserver
 	lastUser []byte
 	hasLast  bool
 	keptLow  bool // emitted the newest version <= horizon for lastUser
@@ -261,12 +275,22 @@ func (d *dropIter) skipDropped() {
 		if !d.keptLow {
 			d.keptLow = true
 			if kind == kv.KindDelete && d.atBottom {
+				d.drop(kind)
 				d.in.Next() // tombstone with nothing underneath: drop
 				continue
 			}
 			return
 		}
+		d.drop(kind)
 		d.in.Next() // shadowed version: drop
+	}
+}
+
+// drop notifies the observer about the record the inner iterator is
+// positioned on, which skipDropped is about to discard.
+func (d *dropIter) drop(kind kv.Kind) {
+	if d.onDrop != nil {
+		d.onDrop(kind, d.in.Value())
 	}
 }
 

@@ -49,6 +49,10 @@ type CrashWorkload struct {
 	// splitting the keyspace evenly so every shard's WAL and recovery
 	// path is exercised.
 	Shards int
+	// ValueThreshold > 0 turns on key-value separation, so crashes land
+	// between value-log appends, log syncs and WAL pointer commits —
+	// the window the value-durable-before-pointer ordering must cover.
+	ValueThreshold int
 }
 
 func (w CrashWorkload) withDefaults() CrashWorkload {
@@ -77,7 +81,7 @@ type CrashCalibration struct {
 // exercise WAL rotation, flushes, compaction cascades, splits and
 // merges.  The backoff abandons after a handful of attempts: after a
 // crash every retry fails, and the workers must park rather than spin.
-func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind, shards int) (*iamdb.DB, error) {
+func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind, shards, valueThreshold int) (*iamdb.DB, error) {
 	o := &iamdb.Options{
 		Engine:       eng,
 		FS:           cfs,
@@ -88,6 +92,11 @@ func openCrashDB(cfs *vfs.CrashFS, eng iamdb.EngineKind, shards int) (*iamdb.DB,
 		SyncWrites:       true,
 		BgRetryLimit:     2,
 		BgBackoff:        func(failures int) bool { return failures < 6 },
+	}
+	if valueThreshold > 0 {
+		o.ValueThreshold = valueThreshold
+		// Tiny segments so the scripted run rotates the log several times.
+		o.VlogSegmentSize = 2 * 1024
 	}
 	if shards > 1 {
 		o.Shards = shards
@@ -176,7 +185,7 @@ func (w CrashWorkload) run(db *iamdb.DB, o *oracle, cfs *vfs.CrashFS) error {
 func (w CrashWorkload) Calibrate() (CrashCalibration, error) {
 	w = w.withDefaults()
 	cfs := vfs.NewCrashFS(vfs.NewMemFS(), w.Mode)
-	db, err := openCrashDB(cfs, w.Engine, w.Shards)
+	db, err := openCrashDB(cfs, w.Engine, w.Shards, w.ValueThreshold)
 	if err != nil {
 		return CrashCalibration{}, err
 	}
@@ -200,7 +209,7 @@ func (w CrashWorkload) Trial(crashAt int64) error {
 	cfs := vfs.NewCrashFS(vfs.NewMemFS(), w.Mode)
 	cfs.CrashAt(crashAt)
 	o := newOracle()
-	db, err := openCrashDB(cfs, w.Engine, w.Shards)
+	db, err := openCrashDB(cfs, w.Engine, w.Shards, w.ValueThreshold)
 	if err != nil {
 		if !cfs.Crashed() {
 			return fmt.Errorf("open: %w", err)
@@ -218,7 +227,7 @@ func (w CrashWorkload) Trial(crashAt int64) error {
 		_ = db.Close()
 	}
 	cfs.Recover()
-	db2, err := openCrashDB(cfs, w.Engine, w.Shards)
+	db2, err := openCrashDB(cfs, w.Engine, w.Shards, w.ValueThreshold)
 	if err != nil {
 		return fmt.Errorf("crashAt=%d: reopen: %w", crashAt, err)
 	}

@@ -31,6 +31,13 @@ type Config struct {
 	Records uint64
 	// ValueSize is the record value size (paper: 1024).
 	ValueSize int
+	// ValueThreshold enables key-value separation in the store (values
+	// at or above it go to the value log); 0 keeps every value inline.
+	ValueThreshold int
+	// VlogSegmentSize overrides the value-log segment size; 0 uses the
+	// store's default.  The kvsep experiment shrinks it so density GC
+	// exercises at laptop scale.
+	VlogSegmentSize int64
 	// Ct is the memtable/node capacity (scaled from 128 MiB).
 	Ct int64
 	// CacheBytes models available RAM for data blocks.
@@ -64,9 +71,13 @@ type Config struct {
 	Trace *iamdb.TraceRecorder
 }
 
+// DefaultValueSize is the value size experiments use unless they
+// override it (the paper's 1 KiB records, Sec. 6.1).
+const DefaultValueSize = 1024
+
 func (c Config) withDefaults() Config {
 	if c.ValueSize == 0 {
-		c.ValueSize = 1024
+		c.ValueSize = DefaultValueSize
 	}
 	if c.Ct == 0 {
 		c.Ct = 256 * 1024
@@ -147,6 +158,8 @@ func NewEnv(cfg Config) (*Env, error) {
 		Clock:            clock,
 		Trace:            cfg.Trace,
 		InlineBackground: cfg.Inline,
+		ValueThreshold:   cfg.ValueThreshold,
+		VlogSegmentSize:  cfg.VlogSegmentSize,
 	})
 	if err != nil {
 		return nil, err

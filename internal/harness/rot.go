@@ -51,6 +51,11 @@ type RotWorkload struct {
 	// Shards > 1 builds and damages a range-sharded store, splitting
 	// the keyspace evenly so every shard's files enter the matrix.
 	Shards int
+	// ValueThreshold > 0 builds the store with key-value separation, so
+	// the matrix's per-file point enumeration also damages value-log
+	// segments (they live in the same directories, so List picks them
+	// up) and reads must detect rotted values behind live pointers.
+	ValueThreshold int
 }
 
 func (w RotWorkload) withDefaults() RotWorkload {
@@ -100,7 +105,7 @@ func (o *rotOracle) del(k string) {
 // InlineBackground makes the build single-threaded and therefore the
 // on-disk landscape deterministic, so every trial of a workload sees
 // the same files at the same sizes.
-func openRotDB(fs vfs.FS, eng iamdb.EngineKind, shards int) (*iamdb.DB, error) {
+func openRotDB(fs vfs.FS, eng iamdb.EngineKind, shards, valueThreshold int) (*iamdb.DB, error) {
 	o := &iamdb.Options{
 		Engine:       eng,
 		FS:           fs,
@@ -113,6 +118,11 @@ func openRotDB(fs vfs.FS, eng iamdb.EngineKind, shards int) (*iamdb.DB, error) {
 		BgRetryLimit:     2,
 		BgBackoff:        func(failures int) bool { return failures < 3 },
 	}
+	if valueThreshold > 0 {
+		o.ValueThreshold = valueThreshold
+		// Tiny segments so the built store has several to damage.
+		o.VlogSegmentSize = 2 * 1024
+	}
 	if shards > 1 {
 		o.Shards = shards
 		o.ShardSplits = evenKeySplits(shards, rotKeyspace)
@@ -124,7 +134,7 @@ func openRotDB(fs vfs.FS, eng iamdb.EngineKind, shards int) (*iamdb.DB, error) {
 // flushing first so the acknowledged state is all in the engine — a
 // rotted WAL tail must then never cost an acknowledged key.
 func (w RotWorkload) build(fs vfs.FS) (*rotOracle, error) {
-	db, err := openRotDB(fs, w.Engine, w.Shards)
+	db, err := openRotDB(fs, w.Engine, w.Shards, w.ValueThreshold)
 	if err != nil {
 		return nil, fmt.Errorf("build open: %w", err)
 	}
@@ -280,7 +290,7 @@ func (w RotWorkload) Trial(slot int) error {
 		return fmt.Errorf("corrupt %s@%d: %w", p.Path, p.Off, err)
 	}
 
-	db, err := openRotDB(fs, w.Engine, w.Shards)
+	db, err := openRotDB(fs, w.Engine, w.Shards, w.ValueThreshold)
 	if err != nil {
 		ce := iamdb.AsCorruption(err)
 		if ce == nil {
@@ -341,6 +351,12 @@ func (w RotWorkload) verify(db *iamdb.DB, o *rotOracle, p RotPoint, changed bool
 	it := db.NewIterator()
 	for it.First(); it.Valid(); it.Next() {
 		k, v := string(it.Key()), string(it.Value())
+		if it.Err() != nil {
+			// Lazy value resolution failed typed mid-scan; the error
+			// check below classifies it.  The empty value it returned
+			// was never served as data.
+			break
+		}
 		if o.latest[k] == v {
 			continue
 		}

@@ -27,8 +27,19 @@ const (
 	KindDelete Kind = 0
 	// KindSet stores a value for the key.
 	KindSet Kind = 1
+	// KindValuePtr stores a pointer into the value log instead of the
+	// value itself (key-value separation): the record's value bytes are
+	// a vlog.Pointer encoding, resolved lazily by the DB layer.  To the
+	// trees it is an ordinary live record.
+	KindValuePtr Kind = 2
 
-	maxKind = KindSet
+	// MaxKind is the largest valid kind.  Seek targets that must land
+	// at or before every version of a user key at a given sequence use
+	// it: the trailer orders descending, so the largest kind sorts
+	// first among records sharing a sequence number.
+	MaxKind = KindValuePtr
+
+	maxKind = MaxKind
 )
 
 func (k Kind) String() string {
@@ -37,6 +48,8 @@ func (k Kind) String() string {
 		return "delete"
 	case KindSet:
 		return "set"
+	case KindValuePtr:
+		return "valueptr"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

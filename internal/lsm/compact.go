@@ -18,7 +18,7 @@ func (d *DB) Flush(it iterator.Iterator) error {
 	start := d.cfg.Clock.Now()
 	sp := d.cfg.Trace.Begin("lsm.flush")
 	sp.SetLevel(0)
-	filtered := engine.DropObsolete(it, d.horizon, false)
+	filtered := engine.DropObsoleteObserved(it, d.horizon, false, d.cfg.OnDrop)
 	filtered.First()
 	files, bytes, err := d.writeFiles(filtered, 1<<62)
 	d.cfg.Events.FlushEnd(metrics.FlushInfo{Bytes: bytes, Duration: d.cfg.Clock.Now() - start})
@@ -303,7 +303,7 @@ func (d *DB) compactLevel(i int) error {
 	}
 	merged := iterator.NewMerging(kv.CompareInternal, kids...)
 	atBottom := d.isBottom(i + 1)
-	filtered := engine.DropObsolete(merged, d.horizon, atBottom)
+	filtered := engine.DropObsoleteObserved(merged, d.horizon, atBottom, d.cfg.OnDrop)
 	filtered.First()
 	files, bytes, err := d.writeFiles(filtered, d.cfg.FileSize)
 	if err != nil {

@@ -79,6 +79,10 @@ type Config struct {
 	BitsPerKey int
 	// Compression enables flate compression of data blocks.
 	Compression bool
+	// OnDrop is notified of every record compactions discard (see
+	// engine.DropObserver); the DB layer uses it to feed value-log
+	// discard statistics.  Nil disables the callback.
+	OnDrop engine.DropObserver
 	// Events receives structural event notifications (flush, merge,
 	// move, ...).  Nil means no-op listeners.
 	Events *metrics.EventListener

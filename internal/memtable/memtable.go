@@ -178,7 +178,7 @@ func (m *MemTable) Add(seq kv.Seq, kind kv.Kind, ukey, value []byte) {
 
 // Get returns the newest record for ukey visible at snapshot snap.
 func (m *MemTable) Get(ukey []byte, snap kv.Seq) (value []byte, kind kv.Kind, seq kv.Seq, found bool) {
-	target := kv.MakeInternalKey(ukey, snap, kv.KindSet)
+	target := kv.MakeInternalKey(ukey, snap, kv.MaxKind)
 	n := m.findGreaterOrEqual(target)
 	if n == nil {
 		return nil, 0, 0, false

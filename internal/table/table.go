@@ -879,7 +879,7 @@ func sameBytes(a, b []byte) bool {
 // or freshly-read memory and must be copied if retained.
 // found=false means no sequence holds any visible version of ukey.
 func (t *Table) Get(ukey []byte, snap kv.Seq) (val []byte, kind kv.Kind, seq kv.Seq, found bool, err error) {
-	target := kv.MakeInternalKey(ukey, snap, kv.KindSet)
+	target := kv.MakeInternalKey(ukey, snap, kv.MaxKind)
 	seqs := t.snapshotSeqs()
 	for i := len(seqs) - 1; i >= 0; i-- {
 		s := &seqs[i]

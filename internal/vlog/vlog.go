@@ -1,0 +1,560 @@
+package vlog
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"iamdb/internal/corrupt"
+	"iamdb/internal/vfs"
+)
+
+// ErrCorrupt is the sentinel wrapped by every typed corruption error
+// this package raises, for errors.Is.
+var ErrCorrupt = ErrBad
+
+// SegmentName builds the canonical segment file name for a number.
+func SegmentName(dir string, num uint64) string {
+	return fmt.Sprintf("%s/%06d.vlg", dir, num)
+}
+
+// SegmentSuffix is the file-name suffix segments carry; scrub,
+// checkpoint and the rot matrix recognise value-log files by it.
+const SegmentSuffix = ".vlg"
+
+// ParseSegmentName recovers a segment number from a base name like
+// "000002.vlg".
+func ParseSegmentName(name string) (uint64, bool) {
+	base, ok := strings.CutSuffix(name, SegmentSuffix)
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(base, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Log is one DB's (or one shard's) value log.  Appends are serialized
+// by the commit leader and the GC goroutine through mu; Read is safe
+// for any number of concurrent readers.  Discard statistics take their
+// own leaf lock because engines report drops mid-merge with tree locks
+// held.
+//
+// The lock hierarchy (checked by iamlint's lockorder pass): delMu
+// pauses segment deletion and nests outside mu so a checkpoint can pin
+// every segment while it copies; statsMu is a leaf.
+//
+//iamlint:lockorder vlog.Log.delMu < vlog.Log.mu; vlog.Log.delMu < vlog.Log.statsMu; vlog.Log.mu < vfs.*; vlog.Log.statsMu leaf
+type Log struct {
+	fs      vfs.FS
+	dir     string
+	segSize int64
+
+	mu      sync.Mutex
+	head    vfs.File
+	headNum uint64
+	headOff int64
+	dirty   bool
+	files   map[uint64]vfs.File // open handles, head included
+	written map[uint64]int64    // record bytes per segment (GC density base)
+	buf     []byte              // append scratch
+
+	statsMu sync.Mutex
+	discard map[uint64]int64 // dropped record bytes per segment
+	bad     map[uint64]bool  // segments GC must skip (detected damage)
+
+	// delMu serializes segment deletion against checkpoint copies: a
+	// checkpoint holds it across the copy loop so no segment listed for
+	// the snapshot disappears mid-copy.
+	delMu sync.Mutex
+}
+
+// OpenStats reports what Open found.
+type OpenStats struct {
+	// Segments is the number of segment files.
+	Segments int
+	// SuspectBytes counts trailing head-segment bytes the open scan
+	// could not parse — a torn tail after a crash or rotted records.
+	// New appends go after them; reads into them fail typed.  The DB
+	// layer reports them as a detection, like truncated WAL tails.
+	SuspectBytes int64
+	// SuspectOffset is where the unparseable tail starts (meaningful
+	// when SuspectBytes > 0).
+	SuspectOffset int64
+}
+
+// Open opens (creating as needed) the value log in dir.  The head
+// segment — the one appends continue into — is scanned record by
+// record to rebuild the append offset and surface torn or rotted
+// tails; older segments are validated lazily, read by read.
+func Open(fs vfs.FS, dir string, segSize int64) (*Log, OpenStats, error) {
+	l := &Log{
+		fs: fs, dir: dir, segSize: segSize,
+		files:   make(map[uint64]vfs.File),
+		written: make(map[uint64]int64),
+		discard: make(map[uint64]int64),
+		bad:     make(map[uint64]bool),
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, OpenStats{}, err
+	}
+	var segs []uint64
+	for _, name := range names {
+		if n, ok := ParseSegmentName(name); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	var st OpenStats
+	for _, n := range segs {
+		f, err := fs.Open(SegmentName(dir, n))
+		if err != nil {
+			l.closeAll()
+			return nil, OpenStats{}, err
+		}
+		l.files[n] = f
+		size, err := f.Size()
+		if err != nil {
+			l.closeAll()
+			return nil, OpenStats{}, err
+		}
+		l.written[n] = size - int64(HeaderSize)
+		if l.written[n] < 0 {
+			l.written[n] = 0
+		}
+	}
+	st.Segments = len(segs)
+	if len(segs) == 0 {
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, OpenStats{}, err
+		}
+		st.Segments = 1
+		return l, st, nil
+	}
+	head := segs[len(segs)-1]
+	valid, suspect, headerOK, err := l.scanHead(head)
+	if err != nil {
+		l.closeAll()
+		return nil, OpenStats{}, err
+	}
+	l.headNum = head
+	l.head = l.files[head]
+	size, err := l.head.Size()
+	if err != nil {
+		l.closeAll()
+		return nil, OpenStats{}, err
+	}
+	if !headerOK {
+		// A header shorter than HeaderSize is a torn creation: records
+		// are only synced after the header write, so nothing durable can
+		// live here — rewrite the header in place and continue.  A
+		// full-size header with wrong magic could be rotted synced bytes:
+		// quarantine the whole segment as suspect (CRC'd records inside
+		// still resolve by direct read) and start a fresh head after it.
+		if size < int64(HeaderSize) {
+			if _, err := l.head.WriteAt([]byte(Magic), 0); err != nil {
+				l.closeAll()
+				return nil, OpenStats{}, err
+			}
+			l.headOff = int64(HeaderSize)
+			l.written[head] = 0
+			l.dirty = true
+			return l, st, nil
+		}
+		st.SuspectBytes = size
+		st.SuspectOffset = 0
+		l.statsMu.Lock()
+		l.bad[head] = true
+		l.statsMu.Unlock()
+		if err := l.createSegmentLocked(head + 1); err != nil {
+			l.closeAll()
+			return nil, OpenStats{}, err
+		}
+		st.Segments++
+		return l, st, nil
+	}
+	// Appends continue after everything present — the suspect region
+	// is left in place (reads into it fail with typed errors; with
+	// sync-before-WAL ordering no surviving pointer can reference it).
+	l.headOff = size
+	if suspect > 0 {
+		st.SuspectBytes = suspect
+		st.SuspectOffset = valid
+	}
+	return l, st, nil
+}
+
+// scanHead walks the head segment's records, returning the offset up
+// to which they parse and how many trailing bytes do not.  A short or
+// mismatched header makes every byte untrustworthy; headerOK=false
+// reports that without failing the open (a crash can tear the header
+// write itself, before any record could have been acknowledged).
+func (l *Log) scanHead(num uint64) (validLen, suspect int64, headerOK bool, err error) {
+	f := l.files[num]
+	size, err := f.Size()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if size < int64(HeaderSize) {
+		return 0, size, false, nil
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return 0, 0, false, err
+	}
+	if string(data[:HeaderSize]) != Magic {
+		return 0, size, false, nil
+	}
+	off := int64(HeaderSize)
+	for off < size {
+		_, _, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			return off, size - off, true, nil
+		}
+		off += int64(n)
+	}
+	return off, 0, true, nil
+}
+
+// createSegmentLocked starts a fresh head segment.  Caller holds mu
+// (or is Open, before the log is shared).
+func (l *Log) createSegmentLocked(num uint64) error {
+	f, err := l.fs.Create(SegmentName(l.dir, num))
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteAt([]byte(Magic), 0); err != nil {
+		_ = f.Close()
+		return err
+	}
+	l.files[num] = f
+	l.written[num] = 0
+	l.head = f
+	l.headNum = num
+	l.headOff = int64(HeaderSize)
+	l.dirty = true
+	return nil
+}
+
+// Append writes one record and returns its pointer.  The record is not
+// durable until Sync; the DB's commit leader syncs before it appends
+// the pointer batch to the WAL, so a surviving pointer always has a
+// surviving value underneath it.
+func (l *Log) Append(key, val []byte) (Pointer, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.headOff >= l.segSize && l.headOff > int64(HeaderSize) {
+		// Seal the head: sync it so every record in a non-head segment
+		// is durable (GC and deletion reason about sealed segments
+		// only), then start the next one.
+		if l.dirty {
+			if err := l.head.Sync(); err != nil {
+				return Pointer{}, err
+			}
+			l.dirty = false
+		}
+		if err := l.createSegmentLocked(l.headNum + 1); err != nil {
+			return Pointer{}, err
+		}
+	}
+	l.buf = AppendRecord(l.buf[:0], key, val)
+	if _, err := l.head.WriteAt(l.buf, l.headOff); err != nil {
+		return Pointer{}, err
+	}
+	p := Pointer{Segment: l.headNum, Offset: l.headOff, Len: uint32(len(l.buf))}
+	l.headOff += int64(len(l.buf))
+	l.written[l.headNum] += int64(len(l.buf))
+	l.dirty = true
+	return p, nil
+}
+
+// Sync makes every appended record durable.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty {
+		return nil
+	}
+	if err := l.head.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// handle returns the open file for a segment, opening it on demand.
+func (l *Log) handle(num uint64) (vfs.File, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.files[num]; ok {
+		return f, nil
+	}
+	f, err := l.fs.Open(SegmentName(l.dir, num))
+	if err != nil {
+		return nil, corrupt.New(corrupt.LayerVLog, SegmentName(l.dir, num), -1, ErrBad,
+			fmt.Sprintf("segment missing: %v", err))
+	}
+	l.files[num] = f
+	return f, nil
+}
+
+// maxRecordLen bounds a pointer's claimed record length so a rotted
+// pointer cannot drive a giant allocation.
+const maxRecordLen = 1 << 30
+
+// Read resolves one pointer, verifying the record CRC and that the
+// stored key matches the key the pointer was found under.  The
+// returned value is a fresh allocation the caller may retain.
+func (l *Log) Read(p Pointer, wantKey []byte) ([]byte, error) {
+	path := SegmentName(l.dir, p.Segment)
+	if p.Len < uint32(crcLen+2) || p.Len > maxRecordLen {
+		return nil, corrupt.New(corrupt.LayerVLog, path, p.Offset, ErrBad,
+			fmt.Sprintf("implausible record length %d", p.Len))
+	}
+	f, err := l.handle(p.Segment)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, p.Len)
+	if _, err := f.ReadAt(buf, p.Offset); err != nil {
+		return nil, corrupt.New(corrupt.LayerVLog, path, p.Offset, ErrBad,
+			fmt.Sprintf("record read failed: %v", err))
+	}
+	key, val, n, err := DecodeRecord(buf)
+	if err != nil || n != int(p.Len) {
+		return nil, corrupt.New(corrupt.LayerVLog, path, p.Offset, ErrBad,
+			"record failed CRC or framing check")
+	}
+	if string(key) != string(wantKey) {
+		return nil, corrupt.New(corrupt.LayerVLog, path, p.Offset, ErrBad,
+			"record key does not match pointer's key")
+	}
+	return val, nil
+}
+
+// ScanFile walks every record of one segment file, calling fn with
+// slices that alias an internal buffer.  Used by GC, Scrub and the
+// iamdump vlog subcommand.  A header or record failure yields a typed
+// corruption error; scanned reports the bytes validated so far.
+func ScanFile(fs vfs.FS, path string, fn func(key, val []byte, off int64, n int) error) (scanned int64, err error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return 0, err
+	}
+	if size < int64(HeaderSize) {
+		return 0, corrupt.New(corrupt.LayerVLog, path, 0, ErrBad,
+			fmt.Sprintf("segment shorter than header: %d bytes", size))
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return 0, err
+	}
+	if string(data[:HeaderSize]) != Magic {
+		return int64(HeaderSize), corrupt.New(corrupt.LayerVLog, path, 0, ErrBad,
+			"bad segment magic")
+	}
+	off := int64(HeaderSize)
+	for off < size {
+		key, val, n, derr := DecodeRecord(data[off:])
+		if derr != nil {
+			return off, corrupt.New(corrupt.LayerVLog, path, off, ErrBad,
+				fmt.Sprintf("record failed CRC or framing check (%v)", derr))
+		}
+		if fn != nil {
+			if err := fn(key, val, off, n); err != nil {
+				return off, err
+			}
+		}
+		off += int64(n)
+	}
+	return off, nil
+}
+
+// ScanSegment walks one of this log's segments.
+func (l *Log) ScanSegment(num uint64, fn func(key, val []byte, p Pointer) error) error {
+	_, err := ScanFile(l.fs, SegmentName(l.dir, num), func(key, val []byte, off int64, n int) error {
+		return fn(key, val, Pointer{Segment: num, Offset: off, Len: uint32(n)})
+	})
+	return err
+}
+
+// NoteDiscard credits n dropped record bytes to a segment.  Engines
+// call it from merge filters with tree locks held, so it takes only
+// the stats leaf lock.
+func (l *Log) NoteDiscard(seg uint64, n int64) {
+	l.statsMu.Lock()
+	l.discard[seg] += n
+	l.statsMu.Unlock()
+}
+
+// MarkBad fences a segment off from GC after detected damage, so the
+// collector does not loop on an unreadable segment.
+func (l *Log) MarkBad(seg uint64) {
+	l.statsMu.Lock()
+	l.bad[seg] = true
+	l.statsMu.Unlock()
+}
+
+// PickGC returns the sealed segment with the highest discard ratio at
+// or above minRatio, if any — the coldest candidate by live density.
+func (l *Log) PickGC(minRatio float64) (seg uint64, ok bool) {
+	l.mu.Lock()
+	head := l.headNum
+	type cand struct {
+		num     uint64
+		written int64
+	}
+	var cands []cand
+	for num, w := range l.written {
+		if num != head && w > 0 {
+			cands = append(cands, cand{num, w})
+		}
+	}
+	l.mu.Unlock()
+	l.statsMu.Lock()
+	defer l.statsMu.Unlock()
+	best := minRatio
+	for _, c := range cands {
+		if l.bad[c.num] {
+			continue
+		}
+		ratio := float64(l.discard[c.num]) / float64(c.written)
+		if ratio >= best {
+			best, seg, ok = ratio, c.num, true
+		}
+	}
+	return seg, ok
+}
+
+// RemoveSegment deletes a fully-rewritten segment.  Deletion nests
+// inside delMu so a concurrent checkpoint holding HoldDeletes keeps
+// every listed segment on disk until its copy completes.
+func (l *Log) RemoveSegment(num uint64) error {
+	l.delMu.Lock()
+	defer l.delMu.Unlock()
+	l.mu.Lock()
+	if num == l.headNum {
+		l.mu.Unlock()
+		return fmt.Errorf("vlog: refusing to remove head segment %d", num)
+	}
+	if f, ok := l.files[num]; ok {
+		_ = f.Close()
+		delete(l.files, num)
+	}
+	delete(l.written, num)
+	l.mu.Unlock()
+	l.statsMu.Lock()
+	delete(l.discard, num)
+	delete(l.bad, num)
+	l.statsMu.Unlock()
+	return l.fs.Remove(SegmentName(l.dir, num))
+}
+
+// HoldDeletes pauses segment deletion until ReleaseDeletes; checkpoint
+// holds it across its copy loop.  The hold is an intentional
+// cross-function handoff: the paired unlock lives in ReleaseDeletes.
+//
+//iamlint:ignore lockcheck
+func (l *Log) HoldDeletes()    { l.delMu.Lock() }
+func (l *Log) ReleaseDeletes() { l.delMu.Unlock() }
+
+// Segments returns the current segment numbers, ascending.
+func (l *Log) Segments() []uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]uint64, 0, len(l.written))
+	for num := range l.written {
+		out = append(out, num)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Head reports the current head segment number.
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.headNum
+}
+
+// Dir reports the directory the log lives in.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats summarizes the log for metrics reporting.
+type Stats struct {
+	// Segments is the live segment count.
+	Segments int
+	// Bytes is the record payload across segments (headers excluded).
+	Bytes int64
+	// DiscardBytes is the dropped-record bytes engines have reported
+	// against live segments — the fuel of density GC.
+	DiscardBytes int64
+}
+
+// Stats snapshots the log's size and discard accounting.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	var st Stats
+	st.Segments = len(l.written)
+	segs := make([]uint64, 0, len(l.written))
+	for num, w := range l.written {
+		st.Bytes += w
+		segs = append(segs, num)
+	}
+	l.mu.Unlock()
+	l.statsMu.Lock()
+	for _, num := range segs {
+		st.DiscardBytes += l.discard[num]
+	}
+	l.statsMu.Unlock()
+	return st
+}
+
+// SpaceUsed reports on-disk bytes, headers included.
+func (l *Log) SpaceUsed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n int64
+	for _, w := range l.written {
+		n += w + int64(HeaderSize)
+	}
+	return n
+}
+
+// closeAll closes every handle (open-failure cleanup).
+func (l *Log) closeAll() {
+	for _, f := range l.files {
+		_ = f.Close()
+	}
+	l.files = map[uint64]vfs.File{}
+}
+
+// Close syncs the head (a clean shutdown leaves every acknowledged
+// record durable) and closes every handle.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var first error
+	if l.dirty && l.head != nil {
+		first = l.head.Sync()
+		l.dirty = false
+	}
+	for _, f := range l.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	l.files = map[uint64]vfs.File{}
+	l.head = nil
+	return first
+}

@@ -18,14 +18,21 @@ import (
 //
 // Key and Value return copies safe to retain.
 type Iterator struct {
-	db       *DB
-	in       iterator.Iterator
-	snap     kv.Seq
-	key      []byte
-	val      []byte
+	db   *DB
+	in   iterator.Iterator
+	snap kv.Seq
+	key  []byte
+	val  []byte
+	// vkind is the raw kind behind val: a KindValuePtr val is a value-log
+	// pointer that Value resolves lazily — scans that never call Value on
+	// a key pay nothing for its large value — against vdb, the store
+	// owning the log (the shard the record came from on a sharded scan).
+	vkind    kv.Kind
+	vdb      *DB
 	valid    bool
 	err      error
 	backward bool
+	closed   bool
 }
 
 // NewIterator returns an iterator over the DB at the current sequence
@@ -41,6 +48,7 @@ func (db *DB) NewIterator() *Iterator {
 // snapshot — the sequence must have been loaded before the state so
 // the view covers it (see getRaw).
 func (db *DB) newIteratorAt(snap kv.Seq) *Iterator {
+	db.iterAcquire()
 	if ss := db.shards; ss != nil {
 		return &Iterator{db: db, in: ss.newInner(), snap: snap}
 	}
@@ -79,7 +87,7 @@ func (it *Iterator) Seek(ukey []byte) {
 		start = it.db.clock.Now()
 	}
 	it.backward = false
-	it.in.Seek(kv.MakeInternalKey(ukey, it.snap, kv.KindSet))
+	it.in.Seek(kv.MakeInternalKey(ukey, it.snap, kv.MaxKind))
 	it.advance(nil)
 	if it.db.timing {
 		it.db.scanHist.Record(it.db.clock.Now() - start)
@@ -133,6 +141,8 @@ func (it *Iterator) advance(skipKey []byte) {
 		}
 		it.key = append(it.key[:0], u...)
 		it.val = append(it.val[:0], it.in.Value()...)
+		it.vkind = kind
+		it.vdb = it.valueOwner()
 		it.valid = true
 		return
 	}
@@ -141,17 +151,51 @@ func (it *Iterator) advance(skipKey []byte) {
 	}
 }
 
+// valueOwner is the DB whose value log resolves the current position's
+// pointer records: the owning shard on a sharded scan (captured while
+// the inner iterator still rests on the record), the DB itself
+// otherwise.
+func (it *Iterator) valueOwner() *DB {
+	if sc, ok := it.in.(*shardConcat); ok && sc.cur >= 0 {
+		return sc.dbs[sc.cur]
+	}
+	return it.db
+}
+
 // Valid reports whether the iterator is positioned at a live entry.
 func (it *Iterator) Valid() bool { return it.valid && it.err == nil }
 
 // Key returns the current user key.
 func (it *Iterator) Key() []byte { return it.key }
 
-// Value returns the current value.
-func (it *Iterator) Value() []byte { return it.val }
+// Value returns the current value, resolving key-value-separated
+// records through the value log on first access (the result is cached
+// for repeated calls at the same position).  A resolution failure —
+// always a typed corruption — invalidates the iterator and surfaces
+// through Err.
+func (it *Iterator) Value() []byte {
+	if it.valid && it.vkind == kv.KindValuePtr {
+		v, err := it.vdb.resolvePointer(it.key, it.val)
+		if err != nil {
+			it.err = err
+			it.valid = false
+			return nil
+		}
+		it.val = append(it.val[:0], v...)
+		it.vkind = kv.KindSet
+	}
+	return it.val
+}
 
 // Err reports the first error encountered.
 func (it *Iterator) Err() error { return it.err }
 
 // Close releases the iterator's resources.
-func (it *Iterator) Close() error { return it.in.Close() }
+func (it *Iterator) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.db.iterRelease()
+	return it.in.Close()
+}

@@ -34,9 +34,9 @@ func (it *Iterator) Prev() {
 	if !it.valid {
 		return
 	}
-	// (key, MaxSeq, set) sorts before every stored version of key, so
-	// SeekForPrev lands on the previous user key's last record.
-	it.rin().SeekForPrev(kv.MakeInternalKey(it.key, kv.MaxSeq, kv.KindSet))
+	// (key, MaxSeq, MaxKind) sorts before every stored version of key,
+	// so SeekForPrev lands on the previous user key's last record.
+	it.rin().SeekForPrev(kv.MakeInternalKey(it.key, kv.MaxSeq, kv.MaxKind))
 	it.findPrevVisible()
 }
 
@@ -49,10 +49,13 @@ func (it *Iterator) findPrevVisible() {
 	var curUser []byte
 	var bestVal []byte
 	var bestKind kv.Kind
+	var bestDB *DB
 	have := false
 	emit := func() {
 		it.key = append(it.key[:0], curUser...)
 		it.val = append(it.val[:0], bestVal...)
+		it.vkind = bestKind
+		it.vdb = bestDB
 		it.valid = true
 	}
 	for in.Valid() {
@@ -63,7 +66,7 @@ func (it *Iterator) findPrevVisible() {
 		}
 		if curUser != nil && kv.CompareUser(u, curUser) != 0 {
 			// Crossed into an earlier user key: settle the current one.
-			if have && bestKind == kv.KindSet {
+			if have && bestKind != kv.KindDelete {
 				emit()
 				return // inner iterator rests inside the earlier key
 			}
@@ -76,10 +79,13 @@ func (it *Iterator) findPrevVisible() {
 		}
 		if seq <= it.snap {
 			// Walking oldest to newest: later visible versions
-			// overwrite earlier ones, leaving the newest visible.
+			// overwrite earlier ones, leaving the newest visible.  The
+			// value owner is captured here, while the inner iterator
+			// still rests on the record (it moves on before emit).
 			have = true
 			bestKind = kind
 			bestVal = append(bestVal[:0], in.Value()...)
+			bestDB = it.valueOwner()
 		}
 		in.Prev()
 	}
@@ -87,7 +93,7 @@ func (it *Iterator) findPrevVisible() {
 		it.err = err
 		return
 	}
-	if curUser != nil && have && bestKind == kv.KindSet {
+	if curUser != nil && have && bestKind != kv.KindDelete {
 		emit()
 	}
 }

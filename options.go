@@ -192,6 +192,31 @@ type Options struct {
 	// SyncWrites makes every write durable before returning.
 	SyncWrites bool
 
+	// ValueThreshold enables key-value separation: values of at least
+	// this many bytes are appended once to a segmented, CRC-per-record
+	// value log and the tree carries only a fixed-size pointer, so
+	// merges move O(pointer) instead of O(value) bytes (see DESIGN.md
+	// "Key-value separation").  0 disables separation (every value
+	// inline).  A sharded DB gives each shard its own log.
+	ValueThreshold int
+
+	// VlogSegmentSize is the value-log segment size (default 64 MiB).
+	// Smaller segments give garbage collection finer reclamation
+	// granularity at the cost of more files.
+	VlogSegmentSize int64
+
+	// shardChild marks a store opened by the sharded router as one of
+	// its children; openSingle then leaves the value-log collector for
+	// the router to start once the global write path is wired.
+	shardChild bool
+
+	// VlogGCDiscardRatio is the dead-bytes fraction at which a sealed
+	// value-log segment becomes a garbage-collection candidate (default
+	// 0.5): the collector rewrites the still-live records of the
+	// densest-dead segment through the normal write path and deletes
+	// the segment once the rewrite is durable.
+	VlogGCDiscardRatio float64
+
 	// Compression enables flate compression of on-disk data blocks.
 	// Off by default, matching the paper's experimental setup
 	// (Sec. 6.1: "data compression is turned off").
@@ -282,6 +307,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.BgRetryLimit == 0 {
 		out.BgRetryLimit = 5
+	}
+	if out.VlogSegmentSize == 0 {
+		out.VlogSegmentSize = 64 << 20
+	}
+	if out.VlogGCDiscardRatio == 0 {
+		out.VlogGCDiscardRatio = 0.5
 	}
 	return out
 }

@@ -55,6 +55,44 @@ func TestCorruptionMatrix(t *testing.T) {
 	}
 }
 
+// TestCorruptionMatrixKVSep rots a KV-separated store: the point
+// enumeration walks value-log segments alongside tables, WALs and the
+// manifest, so single-byte damage lands on record CRCs, segment magic
+// and live value payloads — every read of a damaged value must fail
+// typed or be flagged, never return rotted bytes.
+func TestCorruptionMatrixKVSep(t *testing.T) {
+	full := os.Getenv("IAMDB_ROT_FULL") != ""
+	for _, eng := range []iamdb.EngineKind{iamdb.IAM, iamdb.LSA} {
+		eng := eng
+		t.Run(eng.String(), func(t *testing.T) {
+			t.Parallel()
+			// Threshold 8 separates every scripted value (~18 bytes).
+			n, err := harness.RotWorkload{Engine: eng, ValueThreshold: 8}.PointCount()
+			if err != nil {
+				t.Fatalf("calibrate: %v", err)
+			}
+			if n < 100 {
+				t.Fatalf("store exposes only %d corruption points; want >= 100", n)
+			}
+			for _, md := range []struct {
+				name string
+				mode vfs.RotMode
+			}{{"Flip", vfs.RotFlip}, {"Zero", vfs.RotZero}} {
+				md := md
+				t.Run(md.name, func(t *testing.T) {
+					t.Parallel()
+					w := harness.RotWorkload{Engine: eng, Mode: md.mode, ValueThreshold: 8}
+					for _, s := range pickSlots(n, 40, full) {
+						if err := w.Trial(s); err != nil {
+							t.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // TestCorruptionMatrixSharded damages a 4-shard store: the matrix now
 // spans four independent file sets plus the SHARDS routing marker, and
 // the oracle holds per shard (damage in one shard never costs another

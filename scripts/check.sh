@@ -104,6 +104,41 @@ print(f"stability blobs OK: {len(wins)} timelines, {min(wins)}-{max(wins)} windo
 EOF
 rm -rf "$tmpdir"
 
+echo "== key-value separation gates"
+# Value-log unit suite, the DB-level separation tests (with -race: the
+# GC worker, commit leader and readers share the log), and a small
+# kvsep bench smoke: separated Put throughput at 64 KiB values must
+# clear 1.5x inline on every engine (the committed medium-scale
+# BENCH_kvsep.json shows >= 2x), and the measured write-byte crossover
+# must land within 2x of the closed-form prediction.
+go test -count=1 ./internal/vlog/ ./internal/amp/
+go test -race -run 'KVSep|Vlog|VLog' -count=1 .
+kvtmp=$(mktemp -d)
+go run ./cmd/iambench -experiment kvsep -scale small -json "$kvtmp" >/dev/null
+python3 - "$kvtmp" <<'EOF'
+import json, sys, os
+d = sys.argv[1]
+blob = json.load(open(os.path.join(d, "BENCH_kvsep.json")))
+assert blob["Meta"]["Schema"] >= 2, "missing run metadata"
+assert blob["Header"][:5] == ["config", "dist", "value", "mode", "put-ops/s"], blob["Header"]
+rows = blob["Rows"]
+big = {}
+for r in rows:
+    if r[2] == "64K" and r[1] == "uniform" and not r[0].endswith("probe"):
+        big.setdefault(r[0], {})[r[3]] = float(r[4])
+assert big, "no 64K rows"
+for cfg, m in big.items():
+    ratio = m["sep"] / m["inline"]
+    assert ratio >= 1.5, f"{cfg}: separated 64K Put only {ratio:.2f}x inline"
+cross = {r[3]: float(r[2]) for r in rows if r[0] == "crossover"}
+assert "predicted" in cross and "measured" in cross, "crossover rows missing"
+ratio = cross["measured"] / cross["predicted"]
+assert 0.5 <= ratio <= 2.0, f"measured crossover {cross['measured']:.0f}B vs predicted {cross['predicted']:.0f}B"
+gains = min(m["sep"] / m["inline"] for m in big.values())
+print(f"kvsep blob OK: 64K separated >= {gains:.2f}x inline, crossover {cross['measured']:.0f}B vs {cross['predicted']:.0f}B predicted")
+EOF
+rm -rf "$kvtmp"
+
 if [ "$quick" = "1" ]; then
     echo "CHECK_QUICK=1: skipping crash matrix and race suite."
     echo "All quick checks passed."
@@ -131,6 +166,7 @@ echo "== fuzz smokes"
 go test -run '^$' -fuzz FuzzBlockDecode -fuzztime 5s ./internal/block/
 go test -run '^$' -fuzz FuzzWALReplay -fuzztime 5s ./internal/wal/
 go test -run '^$' -fuzz FuzzTableOpen -fuzztime 5s ./internal/table/
+go test -run '^$' -fuzz FuzzVLogDecode -fuzztime 5s ./internal/vlog/
 
 echo "== go test -race"
 # The harness simulations exceed go test's default 10-minute timeout

@@ -46,7 +46,8 @@ func (db *DB) pinAt(seq kv.Seq) {
 	db.snapMu.Unlock()
 }
 
-// unpinAt drops one snapshot reference at seq.
+// unpinAt drops one snapshot reference at seq, nudging the value-log
+// collector: deferred segment deletions wait for the last pin.
 func (db *DB) unpinAt(seq kv.Seq) {
 	db.snapMu.Lock()
 	if db.snaps[seq]--; db.snaps[seq] <= 0 {
@@ -54,6 +55,9 @@ func (db *DB) unpinAt(seq kv.Seq) {
 	}
 	db.updateHorizonLocked()
 	db.snapMu.Unlock()
+	if db.vl != nil {
+		db.kickVlogGC()
+	}
 }
 
 // Release ends the snapshot's protection; idempotent.
@@ -97,14 +101,18 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 	var v []byte
 	var kind kv.Kind
 	var err error
+	owner := db
 	if ss := db.shards; ss != nil {
-		kid := ss.kid(key)
-		st := kid.state.Load()
-		v, kind, err = kid.getRawAt(key, s.seq, st.mem, st.imm)
-	} else {
-		st := db.state.Load()
-		v, kind, err = db.getRawAt(key, s.seq, st.mem, st.imm)
+		owner = ss.kid(key)
 	}
+	st := owner.state.Load()
+	v, kind, err = owner.getRawAt(key, s.seq, st.mem, st.imm)
+	if err != nil {
+		return nil, err
+	}
+	// Pointer records resolve through the owning store's value log; GC
+	// keeps every segment a live snapshot can still reference.
+	v, kind, err = owner.maybeResolve(key, v, kind)
 	if err != nil {
 		return nil, err
 	}
